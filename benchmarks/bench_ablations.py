@@ -1,0 +1,231 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not a paper table — these benches justify choices the paper makes
+implicitly:
+
+* **feature categories** — how much of the DDoS detector's quality comes
+  from each Table I category (protocol-centric only, + combination,
+  + stateful);
+* **single vs distributed execution** — the Attack Detector's dataset-size
+  switch (Section III-A1C);
+* **monitoring fidelity** — the Resource Manager's coverage/overhead
+  trade-off (Section III-A2D);
+* **distribution-cost constants** — sensitivity of the Figure 10 curve to
+  the compute cluster's fixed-cost model.
+"""
+
+import pytest
+
+from repro.compute import ClusterConfig, ComputeCluster, PartitionedDataset
+from repro.controller import ControllerCluster
+from repro.core import AthenaDeployment, GenerateQuery
+from repro.core.algorithm import GenerateAlgorithm
+from repro.core.preprocessor import GeneratePreprocessor
+from repro.core.southbound import AttackDetector
+from repro.dataplane.topologies import linear_topology
+from repro.ml.metrics import detection_rate, false_alarm_rate
+from repro.workloads.ddos import DDOS_FEATURES, DDoSDatasetGenerator, DDoSDatasetSpec
+
+#: Table I category of each DDoS tuple feature.
+PROTOCOL_ONLY = [
+    "FLOW_PACKET_COUNT",
+    "FLOW_BYTE_COUNT",
+    "FLOW_DURATION_SEC",
+    "FLOW_DURATION_N_SEC",
+]
+WITH_COMBINATION = PROTOCOL_ONLY + [
+    "FLOW_BYTE_PER_PACKET",
+    "FLOW_PACKET_PER_DURATION",
+    "FLOW_BYTE_PER_DURATION",
+]
+FULL_TUPLE = DDOS_FEATURES  # adds the stateful PAIR_FLOW* and fan-in
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    generator = DDoSDatasetGenerator(DDoSDatasetSpec(scale=0.002))
+    documents = generator.generate()
+    return generator.train_test_split(documents)
+
+
+def _evaluate(features, train, test):
+    from repro.core.detector_manager import DetectorManager
+    from repro.core.feature_manager import FeatureManager
+    from repro.distdb import DatabaseCluster
+
+    manager = DetectorManager(
+        FeatureManager(DatabaseCluster(n_shards=1, replication=1)),
+        AttackDetector(ComputeCluster(2)),
+    )
+    preprocessor = GeneratePreprocessor(
+        normalization="minmax", marking="label", features=list(features)
+    )
+    model = manager.generate_detection_model(
+        GenerateQuery(),
+        preprocessor,
+        GenerateAlgorithm("kmeans", k=8, max_iterations=15, runs=2, seed=1),
+        documents=train,
+    )
+    summary = manager.validate_features(
+        GenerateQuery(), preprocessor, model, documents=test
+    )
+    return summary.detection_rate, summary.false_alarm_rate
+
+
+def test_ablation_feature_categories(benchmark, dataset, recorder):
+    train, test = dataset
+    results = {}
+    for name, features in (
+        ("protocol-centric only", PROTOCOL_ONLY),
+        ("+ combination", WITH_COMBINATION),
+        ("+ stateful (full 10-tuple)", FULL_TUPLE),
+    ):
+        if name.startswith("+ stateful"):
+            results[name] = benchmark.pedantic(
+                lambda: _evaluate(FULL_TUPLE, train, test),
+                rounds=1,
+                iterations=1,
+            )
+        else:
+            results[name] = _evaluate(features, train, test)
+        recorder.add_row(
+            feature_set=name,
+            n_features=len(features),
+            detection_rate=results[name][0],
+            false_alarm_rate=results[name][1],
+        )
+    recorder.print_table("Ablation: Table I feature categories (DDoS K-Means)")
+    full_dr, full_far = results["+ stateful (full 10-tuple)"]
+    proto_dr, proto_far = results["protocol-centric only"]
+    # The stateful pair-flow features are what separate floods from flash
+    # crowds: the full tuple must dominate protocol-only on at least one
+    # metric without losing on the other.
+    assert full_dr >= proto_dr - 0.01
+    assert full_far <= proto_far + 0.01
+    assert (full_dr - proto_dr) + (proto_far - full_far) > 0.01
+
+
+def test_ablation_single_vs_distributed(benchmark, dataset, recorder):
+    """The Attack Detector's size-based execution switch."""
+    import numpy as np
+
+    train, _ = dataset
+    matrix = np.random.default_rng(0).normal(size=(30_000, 10))
+    from repro.ml.kmeans import KMeans
+
+    detector = AttackDetector(
+        ComputeCluster(4, config=ClusterConfig(t_setup=0.5)),
+        distributed_threshold=50_000,
+    )
+    small = matrix[:1_000]
+    model = KMeans(k=4, max_iterations=5, seed=0).fit(small)
+    # Label clusters so the model can produce verdicts.
+    model.label_clusters(small, (small[:, 0] > 1.0).astype(float))
+
+    def validate(rows):
+        return detector.run_validation(model, rows)
+
+    _, small_report = benchmark.pedantic(
+        lambda: validate(small), rounds=1, iterations=1
+    )
+    _, large_report = validate(np.vstack([matrix] * 2))
+    recorder.add_row(
+        dataset_rows=len(small),
+        execution="single instance",
+        job_report=small_report is None,
+    )
+    recorder.add_row(
+        dataset_rows=60_000,
+        execution="distributed",
+        job_report=large_report is not None,
+    )
+    recorder.print_table("Ablation: single vs distributed execution switch")
+    # Small datasets stay local (no distribution cost), large ones ship out.
+    assert small_report is None
+    assert large_report is not None
+    assert detector.jobs_local >= 1 and detector.jobs_distributed >= 1
+
+
+def test_ablation_monitoring_fidelity(benchmark, recorder):
+    """Resource Manager: fewer monitored switches => fewer features."""
+    from repro.workloads.flows import FlowSpec, TrafficSchedule
+
+    counts = {}
+    for label, keep in (("all switches", None), ("half", {1, 2}), ("one", {1})):
+        topo = linear_topology(n_switches=4, hosts_per_switch=1)
+        cluster = ControllerCluster(topo.network, n_instances=1)
+        cluster.adopt_all()
+        from repro.controller import ReactiveForwarding
+
+        forwarding = ReactiveForwarding()
+        forwarding.activate(cluster)
+        athena = AthenaDeployment(cluster, athena_poll_interval=1.0)
+        athena.start()
+        if keep is not None:
+            athena.resource_manager.set_monitored_switches(keep)
+        schedule = TrafficSchedule(topo.network)
+        schedule.prime_arp()
+
+        def drive(topo=topo, schedule=schedule):
+            schedule.add_flow(
+                FlowSpec(src_host="h1", dst_host="h4", rate_pps=20.0,
+                         start=topo.network.sim.now, duration=4.0,
+                         bidirectional=True)
+            )
+            topo.network.sim.run(until=topo.network.sim.now + 6.0)
+
+        if label == "all switches":
+            benchmark.pedantic(drive, rounds=1, iterations=1)
+        else:
+            drive()
+        counts[label] = athena.total_features_generated()
+        recorder.add_row(
+            fidelity=label, features_generated=counts[label]
+        )
+    recorder.print_table("Ablation: Resource Manager monitoring fidelity")
+    assert counts["all switches"] > counts["half"] > counts["one"] > 0
+
+
+def test_ablation_distribution_cost_model(benchmark, recorder):
+    """Sensitivity of the Figure 10 ratio to the fixed-cost constants."""
+    import numpy as np
+
+    matrix = np.random.default_rng(1).normal(size=(60_000, 10))
+
+    def heavy_map(part):
+        total = 0.0
+        for _ in range(30):
+            total += float(np.abs(np.tanh(part)).sum())
+        return total
+
+    def ratio_for(t_setup):
+        times = {}
+        for n_workers in (1, 6):
+            compute = ComputeCluster(
+                n_workers,
+                config=ClusterConfig(t_setup=t_setup, work_scale=10.0),
+            )
+            # Equal partition count for both node counts, so only the
+            # parallelism and the fixed costs differ.
+            ds = PartitionedDataset.from_matrix(matrix, 12)
+            best = None
+            for _attempt in range(3):
+                report = compute.run_map(ds, map_fn=heavy_map, reduce_fn=sum)
+                if best is None or report.makespan_seconds < best:
+                    best = report.makespan_seconds
+            times[n_workers] = best
+        return times[6] / times[1]
+
+    ratios = {}
+    for t_setup in (0.0, 0.12, 0.9):
+        ratios[t_setup] = (
+            benchmark.pedantic(lambda: ratio_for(0.12), rounds=1, iterations=1)
+            if t_setup == 0.12
+            else ratio_for(t_setup)
+        )
+        recorder.add_row(
+            t_setup_s=t_setup, t6_over_t1=f"{ratios[t_setup]:.1%}",
+        )
+    recorder.print_table("Ablation: T(6)/T(1) vs fixed distribution cost")
+    # More fixed cost flattens the curve (the ratio grows toward 1).
+    assert ratios[0.0] < ratios[0.12] < ratios[0.9]

@@ -1,0 +1,80 @@
+"""Figure 11 — average CPU usage while handling flow events.
+
+Paper: CPU load grows with the offered flow-event rate; ONOS with Athena
+saturates at about 140K flows/s, where the basic ONOS instance sits at
+about 31% utilisation — i.e. Athena's per-event cost is roughly 3x the
+bare controller's, so it saturates roughly 3x earlier.
+
+The bench measures real per-event CPU cost (time.process_time over the
+event loop) with and without Athena, maps offered rates to utilisation on
+the paper's six cores, and reports both curves plus the saturation points.
+"""
+
+import pytest
+
+from repro.cbench.harness import CbenchHarness, cpu_usage_curve, saturation_rate
+
+#: The paper's observation: basic ONOS at the Athena saturation point.
+PAPER_BASE_UTILISATION_AT_SATURATION = 31.0
+N_CORES = 6
+
+
+@pytest.fixture(scope="module")
+def event_costs():
+    harness = CbenchHarness(n_switches=8, match_pool=128)
+    # Median of three measurements per mode for stability.
+    def measure(mode):
+        samples = sorted(
+            harness.measure_event_cost(mode, n_events=6000) for _ in range(3)
+        )
+        return samples[1]
+
+    return {"without": measure("without"), "with": measure("with")}
+
+
+def test_fig11_cpu_usage(benchmark, event_costs, recorder):
+    harness = CbenchHarness(n_switches=8, match_pool=128)
+    benchmark.pedantic(
+        lambda: harness.measure_event_cost("with", n_events=3000),
+        rounds=1,
+        iterations=1,
+    )
+    cost_without = event_costs["without"]
+    cost_with = event_costs["with"]
+    athena_saturation = saturation_rate(cost_with, n_cores=N_CORES)
+    base_saturation = saturation_rate(cost_without, n_cores=N_CORES)
+    # Sweep rates up to just beyond Athena's saturation point.
+    rates = [athena_saturation * fraction for fraction in
+             (0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0, 1.1)]
+    curve_with = dict(cpu_usage_curve(rates, cost_with, n_cores=N_CORES))
+    curve_without = dict(cpu_usage_curve(rates, cost_without, n_cores=N_CORES))
+    for rate in rates:
+        recorder.add_row(
+            flow_events_per_s=round(rate),
+            cpu_without_athena=f"{curve_without[rate]:.1f}%",
+            cpu_with_athena=f"{curve_with[rate]:.1f}%",
+        )
+    base_at_saturation = min(
+        100.0, athena_saturation * cost_without / N_CORES * 100.0
+    )
+    recorder.set_meta(
+        per_event_cost_without_us=cost_without * 1e6,
+        per_event_cost_with_us=cost_with * 1e6,
+        athena_saturation_rate=round(athena_saturation),
+        base_saturation_rate=round(base_saturation),
+        paper_base_util_at_athena_saturation=f"{PAPER_BASE_UTILISATION_AT_SATURATION}%",
+        measured_base_util_at_athena_saturation=f"{base_at_saturation:.1f}%",
+    )
+    recorder.print_table("Figure 11: CPU usage vs flow-event rate")
+
+    # Shape: Athena always costs more CPU and saturates earlier.
+    assert cost_with > cost_without
+    assert athena_saturation < base_saturation
+    # Paper band: bare controller at ~31% when Athena saturates — i.e.
+    # Athena's per-event cost is roughly 2-5x the bare controller's.
+    ratio = cost_with / cost_without
+    assert 1.5 < ratio < 6.0
+    # Both curves are monotone non-decreasing and capped at 100%.
+    with_values = [curve_with[rate] for rate in rates]
+    assert with_values == sorted(with_values)
+    assert with_values[-1] == 100.0

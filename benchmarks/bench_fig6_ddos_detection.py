@@ -1,0 +1,113 @@
+"""Figure 6 — the DDoS detector testing summary.
+
+Paper: 37,370,466 entries (9.38M benign / 28.0M malicious; 25,559 / 166,213
+unique flows), K-Means K=8 / 20 iterations / 5 runs, Detection Rate
+0.99237, False Alarm Rate 0.04470, with a per-cluster benign/malicious
+composition table.
+
+The bench replays a 1/200-scale dataset with the same class mix through the
+real NB API (GenerateDetectionModel + ValidateFeatures) and times the full
+validation; the summary prints in the paper's exact layout.
+"""
+
+import pytest
+
+from repro.apps.ddos import DDoSDetectorApp
+from repro.controller import ControllerCluster
+from repro.core import AthenaDeployment
+from repro.dataplane.topologies import linear_topology
+from repro.workloads.ddos import DDoSDatasetGenerator, DDoSDatasetSpec
+
+PAPER_DETECTION_RATE = 0.9923666756231502
+PAPER_FALSE_ALARM_RATE = 0.0446994234548171
+SCALE = 0.005
+
+
+@pytest.fixture(scope="module")
+def environment():
+    generator = DDoSDatasetGenerator(DDoSDatasetSpec(scale=SCALE))
+    documents = generator.generate()
+    train, test = generator.train_test_split(documents)
+    topo = linear_topology(n_switches=2)
+    cluster = ControllerCluster(topo.network, n_instances=1)
+    cluster.adopt_all()
+    athena = AthenaDeployment(cluster)
+    app = DDoSDetectorApp()
+    athena.register_app(app)
+    return app, athena, train, test
+
+
+def test_fig6_ddos_detection(benchmark, environment, recorder):
+    app, athena, train, test = environment
+
+    summary = benchmark.pedantic(
+        lambda: app.run_batch(train_documents=train, test_documents=test),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(athena.ui_manager.show(summary))
+
+    recorder.set_meta(
+        scale=SCALE,
+        total_entries=summary.total_entries,
+        cluster_info=summary.cluster_info,
+    )
+    recorder.add_row(
+        metric="Detection Rate",
+        paper=PAPER_DETECTION_RATE,
+        measured=summary.detection_rate,
+    )
+    recorder.add_row(
+        metric="False Alarm Rate",
+        paper=PAPER_FALSE_ALARM_RATE,
+        measured=summary.false_alarm_rate,
+    )
+    # The paper validates the full dataset; here half is held out for
+    # testing, so the comparable count is scale x 0.5 of the paper's.
+    recorder.add_row(
+        metric="Benign entries",
+        paper=9_375_848 * SCALE * 0.5,
+        measured=summary.benign_entries,
+    )
+    recorder.add_row(
+        metric="Malicious entries",
+        paper=27_994_618 * SCALE * 0.5,
+        measured=summary.malicious_entries,
+    )
+    for cluster_report in summary.clusters:
+        recorder.add_row(
+            metric=f"Cluster #{cluster_report.cluster_id}",
+            paper="(composition varies)",
+            measured=(
+                f"benign={cluster_report.benign_entries}, "
+                f"malicious={cluster_report.malicious_entries}, "
+                f"labelled_malicious={cluster_report.is_malicious}"
+            ),
+        )
+    recorder.print_table("Figure 6: DDoS detector output (paper vs measured)")
+
+    # Shape assertions: the paper's headline numbers within tight bands.
+    assert summary.detection_rate == pytest.approx(PAPER_DETECTION_RATE, abs=0.01)
+    assert summary.false_alarm_rate == pytest.approx(
+        PAPER_FALSE_ALARM_RATE, abs=0.015
+    )
+    # Mixed clusters exist (the paper's cluster #0 has both classes).
+    assert any(
+        c.benign_entries > 0 and c.malicious_entries > 0 for c in summary.clusters
+    )
+
+
+def test_fig6_som_baseline_comparison(benchmark, environment, recorder):
+    """[10]'s SOM on the same data: works, but below Athena's K-Means."""
+    from repro.baselines.braga import BragaSOMDetector
+
+    app, athena, train, test = environment
+    detector = BragaSOMDetector(rows=3, cols=3, epochs=3, seed=2)
+    benchmark.pedantic(
+        lambda: detector.train(train, max_rows=5000), rounds=1, iterations=1
+    )
+    dr, far = detector.evaluate(test)
+    recorder.add_row(metric="SOM detection rate", paper="(not reported)", measured=dr)
+    recorder.add_row(metric="SOM false alarm rate", paper="(not reported)", measured=far)
+    assert dr > 0.9

@@ -1,0 +1,79 @@
+"""Table VI — the DDoS test environment, Athena vs Braga et al. [10].
+
+Paper row (Athena): 18 OF switches (6 physical, 12 OVS), 48 links,
+3 controller instances, 10-tuple features, K-Means.
+Paper row ([10]):   3 OF switches, 3 links, 1 instance, 6-tuple, SOM.
+
+The bench builds both environments for real (switches, links, controller
+domains) and times construction of the Athena-scale one.
+"""
+
+from repro.baselines.braga import BRAGA_FEATURES
+from repro.controller import ControllerCluster
+from repro.dataplane.topologies import braga_topology, enterprise_topology
+from repro.workloads.ddos import DDOS_FEATURES
+
+
+def _build_athena_environment():
+    topo = enterprise_topology()
+    cluster = ControllerCluster(topo.network, n_instances=3)
+    cluster.adopt_domains(topo.domains)
+    return topo, cluster
+
+
+def test_table6_environment(benchmark, recorder):
+    topo, cluster = benchmark.pedantic(
+        _build_athena_environment, rounds=3, iterations=1
+    )
+    summary = topo.network.summary()
+    braga = braga_topology()
+    braga_summary = braga.network.summary()
+
+    recorder.add_row(
+        category="Switch",
+        paper_braga="3 OF switches",
+        measured_braga=f"{braga_summary['switches']} OF switches",
+        paper_athena="18 OF switches (6 physical, 12 OVS)",
+        measured_athena=(
+            f"{summary['switches']} OF switches "
+            f"({summary['physical_switches']} physical, "
+            f"{summary['ovs_switches']} OVS)"
+        ),
+    )
+    recorder.add_row(
+        category="Link",
+        paper_braga="3 links",
+        measured_braga=str(len(list(braga.network.switch_links()))),
+        paper_athena="48 links",
+        measured_athena=str(len(list(topo.network.switch_links()))),
+    )
+    recorder.add_row(
+        category="Controller",
+        paper_braga="1 instance",
+        measured_braga=str(len(braga.domains)),
+        paper_athena="3 instances",
+        measured_athena=str(len(cluster.instances)),
+    )
+    recorder.add_row(
+        category="Feature",
+        paper_braga="6-tuples",
+        measured_braga=f"{len(BRAGA_FEATURES)}-tuples",
+        paper_athena="10-tuples",
+        measured_athena=f"{len(DDOS_FEATURES)}-tuples",
+    )
+    recorder.add_row(
+        category="Algorithm",
+        paper_braga="SOM",
+        measured_braga="SOM (repro.ml.som)",
+        paper_athena="K-Means",
+        measured_athena="K-Means (repro.ml.kmeans)",
+    )
+    recorder.print_table("Table VI: test environment comparison")
+
+    assert summary["switches"] == 18
+    assert summary["physical_switches"] == 6
+    assert summary["ovs_switches"] == 12
+    assert len(list(topo.network.switch_links())) == 48
+    assert len(cluster.instances) == 3
+    assert len(DDOS_FEATURES) == 10
+    assert len(BRAGA_FEATURES) == 6

@@ -1,0 +1,104 @@
+"""Table IX — Cbench flow-install throughput with and without Athena.
+
+Paper (responses/s over 50 rounds):
+
+    without          MIN 773,618   MAX 883,376   AVG 831,366
+    with             MIN 107,245   MAX 610,724   AVG 389,584   (-53.13% avg)
+    with (no DB)     MIN 631,647   MAX 686,227   AVG 658,514   (-20.79% avg)
+
+Absolute rates depend on the host (the paper ran a tuned ONOS on a Xeon;
+this is a Python control loop), so the reproduced quantity is the *relative
+overhead*: Athena's feature extraction costs a modest fraction without
+database writes and the majority of the slowdown comes from DB operations.
+"""
+
+import statistics
+
+import pytest
+
+from repro.cbench.harness import CbenchHarness
+
+ROUNDS = 8
+ROUND_SECONDS = 0.4
+
+PAPER = {
+    "without": {"min": 773_618, "max": 883_376, "avg": 831_366},
+    "with": {"min": 107_245, "max": 610_724, "avg": 389_584},
+    "with_no_db": {"min": 631_647, "max": 686_227, "avg": 658_514},
+}
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return CbenchHarness(n_switches=8, match_pool=128)
+
+
+@pytest.fixture(scope="module")
+def results(harness):
+    # Interleave modes round-by-round so host drift (frequency scaling, GC)
+    # hits every configuration equally.
+    measured = {mode: [] for mode in ("without", "with_no_db", "with")}
+    for _round in range(ROUNDS):
+        for mode in measured:
+            result = harness.run_throughput(
+                mode, duration_seconds=ROUND_SECONDS
+            )
+            measured[mode].append(result.responses_per_second)
+    return measured
+
+
+def test_table9_cbench(benchmark, harness, results, recorder):
+    # The timed quantity: one full 'without' throughput round.
+    benchmark.pedantic(
+        lambda: harness.run_throughput("without", duration_seconds=ROUND_SECONDS),
+        rounds=2,
+        iterations=1,
+    )
+    averages = {mode: statistics.mean(rates) for mode, rates in results.items()}
+    for mode in ("without", "with", "with_no_db"):
+        rates = results[mode]
+        overhead = 1.0 - averages[mode] / averages["without"]
+        paper_overhead = 1.0 - PAPER[mode]["avg"] / PAPER["without"]["avg"]
+        recorder.add_row(
+            mode=mode,
+            paper_min=PAPER[mode]["min"],
+            paper_avg=PAPER[mode]["avg"],
+            measured_min=round(min(rates)),
+            measured_max=round(max(rates)),
+            measured_avg=round(averages[mode]),
+            paper_overhead=f"{paper_overhead:.1%}",
+            measured_overhead=f"{overhead:.1%}",
+        )
+    recorder.set_meta(rounds=ROUNDS, round_seconds=ROUND_SECONDS)
+    recorder.print_table("Table IX: Cbench throughput (paper vs measured)")
+
+    # Shape assertions.
+    assert averages["without"] > averages["with_no_db"] > averages["with"]
+    overhead_with = 1.0 - averages["with"] / averages["without"]
+    overhead_no_db = 1.0 - averages["with_no_db"] / averages["without"]
+    # Paper: 53.1% / 20.8%. Bands keep the ordering and rough magnitude.
+    assert 0.30 < overhead_with < 0.75
+    assert 0.10 < overhead_no_db < 0.50
+    # The majority of the extra cost comes from DB operations.
+    assert overhead_with > overhead_no_db * 1.2
+
+
+def test_table9_db_ops_dominate(results, recorder, benchmark):
+    """Section VII-C's discussion: overhead primarily from DB operations."""
+    harness = CbenchHarness(n_switches=4, match_pool=64)
+
+    def db_share():
+        without = harness.measure_event_cost("without", n_events=4000)
+        no_db = harness.measure_event_cost("with_no_db", n_events=4000)
+        with_db = harness.measure_event_cost("with", n_events=4000)
+        athena_cost = with_db - without
+        db_cost = with_db - no_db
+        return db_cost / athena_cost if athena_cost > 0 else 0.0
+
+    share = benchmark.pedantic(db_share, rounds=1, iterations=1)
+    recorder.add_row(
+        metric="DB share of Athena per-event overhead",
+        paper="primary source (Sec. VII-C)",
+        measured=f"{share:.1%}",
+    )
+    assert share > 0.3

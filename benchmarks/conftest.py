@@ -1,0 +1,73 @@
+"""Shared benchmark machinery.
+
+Every bench regenerates one of the paper's tables or figures.  Besides the
+pytest-benchmark timing, each bench records its reproduced rows/series into
+``benchmarks/results/<name>.json`` and prints a paper-vs-measured table, so
+EXPERIMENTS.md can be refreshed from a single run.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+class ResultRecorder:
+    """Collects rows for one experiment and persists them as JSON."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.rows = []
+        self.meta = {}
+
+    def add_row(self, **fields) -> None:
+        self.rows.append(fields)
+
+    def set_meta(self, **fields) -> None:
+        self.meta.update(fields)
+
+    def save(self) -> pathlib.Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{self.name}.json"
+        with open(path, "w") as handle:
+            json.dump({"meta": self.meta, "rows": self.rows}, handle, indent=2)
+        return path
+
+    def print_table(self, title: str) -> None:
+        print(f"\n=== {title} ===")
+        if self.meta:
+            for key, value in self.meta.items():
+                print(f"  {key}: {value}")
+        if not self.rows:
+            return
+        columns = list(self.rows[0].keys())
+        widths = {
+            c: max(len(c), *(len(self._fmt(r.get(c))) for r in self.rows))
+            for c in columns
+        }
+        header = "  ".join(c.ljust(widths[c]) for c in columns)
+        print(header)
+        print("-" * len(header))
+        for row in self.rows:
+            print(
+                "  ".join(self._fmt(row.get(c)).ljust(widths[c]) for c in columns)
+            )
+
+    @staticmethod
+    def _fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:,.4g}"
+        return str(value)
+
+
+@pytest.fixture
+def recorder(request):
+    """Per-test result recorder named after the module and test."""
+    module = request.module.__name__.replace("bench_", "")
+    test = request.node.name.replace("test_", "")
+    name = module if module == test else f"{module}__{test}"
+    rec = ResultRecorder(name)
+    yield rec
+    rec.save()

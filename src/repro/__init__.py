@@ -1,0 +1,48 @@
+"""Reproduction of *Athena: A Framework for Scalable Anomaly Detection in
+Software-Defined Networks* (DSN 2017).
+
+The package is organised bottom-up:
+
+* :mod:`repro.simkernel` — deterministic discrete-event simulation kernel
+* :mod:`repro.openflow` — OpenFlow messages, matches, flow entries, codec
+* :mod:`repro.dataplane` — switches, links, hosts, topology builders
+* :mod:`repro.controller` — the distributed (ONOS-like) controller cluster
+* :mod:`repro.distdb` — the sharded document store (MongoDB stand-in)
+* :mod:`repro.compute` — the data-parallel compute cluster (Spark stand-in)
+* :mod:`repro.ml` — from-scratch implementations of every Table IV algorithm
+* :mod:`repro.core` — the Athena framework itself (features, SB/NB, APIs)
+* :mod:`repro.apps` — the paper's three use-case applications
+* :mod:`repro.workloads` — traffic and dataset generators
+* :mod:`repro.baselines` — raw Spark-style jobs and the Braga SOM detector
+* :mod:`repro.cbench` — the Cbench-equivalent throughput harness
+
+The most common entry points re-export here for convenience.
+"""
+
+from repro.core import (
+    AthenaDeployment,
+    AthenaNorthbound,
+    BlockReaction,
+    GenerateAlgorithm,
+    GeneratePreprocessor,
+    GenerateQuery,
+    QuarantineReaction,
+)
+from repro.controller import ControllerCluster, ReactiveForwarding
+from repro.dataplane import Network
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AthenaDeployment",
+    "AthenaNorthbound",
+    "BlockReaction",
+    "GenerateAlgorithm",
+    "GeneratePreprocessor",
+    "GenerateQuery",
+    "QuarantineReaction",
+    "ControllerCluster",
+    "ReactiveForwarding",
+    "Network",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""The paper's three use-case applications (Section V).
+
+* :mod:`repro.apps.ddos` — the large-scale DDoS attack detector
+  (Scenario 1), the paper's flagship evaluation workload;
+* :mod:`repro.apps.lfa` — Link Flooding Attack detection and mitigation
+  (Scenario 2), the Spiffy-equivalent built without custom switches;
+* :mod:`repro.apps.nae` — the Network Application Effectiveness monitor
+  (Scenario 3), detecting the novel SLA-violation anomaly the paper
+  introduces.
+"""
+
+from repro.apps.control_anomaly import ControlPlaneAnomalyApp
+from repro.apps.ddos import DDoSDetectorApp, ddos_detector_application
+from repro.apps.lfa import LFAMitigationApp
+from repro.apps.nae import NAEMonitorApp
+
+__all__ = [
+    "ControlPlaneAnomalyApp",
+    "DDoSDetectorApp",
+    "ddos_detector_application",
+    "LFAMitigationApp",
+    "NAEMonitorApp",
+]

@@ -1,0 +1,137 @@
+"""Scenario 2: Link Flooding Attack detection and mitigation.
+
+The Spiffy-equivalent service (Table VII) built purely on Athena features:
+
+* **link congestion** — the built-in ``PORT_RX_BYTES_VAR`` volume-variation
+  feature crossing a threshold marks a congested port (Spiffy needed SNMP);
+* **rate change** — per-flow ``FLOW_BYTE_COUNT_VAR`` before and during a
+  temporary bandwidth expansion (TBE) distinguishes adaptive legitimate
+  TCP senders from non-adaptive bots (Spiffy needed OpenSketch switches);
+* **traffic engineering / mitigation** — suspicious sources are blocked via
+  the Reactor on any switch, covering insider threats.
+
+The detection logic lives in the event handler the app registers with
+``AddEventHandler``, exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.app import AthenaApp
+from repro.core.feature_format import AthenaFeature
+from repro.core.query import GenerateQuery
+from repro.core.reactions import BlockReaction
+
+
+class LFAMitigationApp(AthenaApp):
+    """Threshold + TBE-based LFA detector and mitigator."""
+
+    def __init__(
+        self,
+        name: str = "lfa-mitigation",
+        congestion_threshold_bytes: float = 200_000.0,
+        tbe_adaptation_ratio: float = 1.3,
+        auto_block: bool = True,
+    ) -> None:
+        super().__init__(name)
+        #: PORT_RX_BYTES_VAR above this marks the port congested.
+        self.congestion_threshold_bytes = congestion_threshold_bytes
+        #: Legitimate flows grow at least this factor under TBE.
+        self.tbe_adaptation_ratio = tbe_adaptation_ratio
+        self.auto_block = auto_block
+        self.congested_ports: List[Tuple[int, int, float]] = []
+        self.suspicious_sources: List[str] = []
+        self._flow_rate_history: Dict[tuple, List[float]] = defaultdict(list)
+        self._tbe_active: Set[Tuple[int, int]] = set()
+        self._blocked: Set[str] = set()
+        self._handler_ids: List[int] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def on_attach(self) -> None:
+        """Register the LFA event handlers (the paper's ~25-line setup)."""
+        q_ports = GenerateQuery("feature_scope == port && PORT_RX_BYTES_VAR > 0")
+        self._handler_ids.append(
+            self.nb.AddEventHandler(q_ports, self._port_event_handler)
+        )
+        q_flows = GenerateQuery("feature_scope == flow && FLOW_BYTE_COUNT_VAR > 0")
+        self._handler_ids.append(
+            self.nb.AddEventHandler(q_flows, self._flow_event_handler)
+        )
+
+    def on_detach(self) -> None:
+        for handler_id in self._handler_ids:
+            self.nb.remove_event_handler(handler_id)
+        self._handler_ids.clear()
+
+    # -- detection logic (the custom Event_Handler body) ---------------------------
+
+    def _port_event_handler(self, feature: AthenaFeature) -> None:
+        """Lightweight threshold-based congestion detection per port."""
+        variation = feature.fields.get("PORT_RX_BYTES_VAR", 0.0)
+        if variation < self.congestion_threshold_bytes:
+            return
+        key = (feature.switch_id, feature.port_no or 0)
+        self.congested_ports.append((key[0], key[1], feature.timestamp))
+        if key not in self._tbe_active:
+            self._tbe_active.add(key)
+            self._expand_bandwidth(feature.switch_id, feature.port_no)
+
+    def _flow_event_handler(self, feature: AthenaFeature) -> None:
+        """TBE-based tracker: flows that ignore extra bandwidth are bots."""
+        key = (
+            feature.switch_id,
+            feature.indicators.get("ip_src"),
+            feature.indicators.get("ip_dst"),
+            feature.indicators.get("tcp_dst"),
+        )
+        rate = feature.fields.get("FLOW_BYTE_COUNT_VAR", 0.0)
+        history = self._flow_rate_history[key]
+        history.append(rate)
+        if len(history) > 8:
+            history.pop(0)
+        if not self._tbe_active or len(history) < 4:
+            return
+        before = sum(history[:-2]) / max(1, len(history) - 2)
+        after = sum(history[-2:]) / 2.0
+        ip_src = feature.indicators.get("ip_src")
+        if (
+            ip_src
+            and before > 0
+            and after < before * self.tbe_adaptation_ratio
+            and ip_src not in self._blocked
+        ):
+            self.suspicious_sources.append(ip_src)
+            if self.auto_block:
+                self.nb.Reactor(None, BlockReaction(target_ips=[ip_src]))
+                self._blocked.add(ip_src)
+
+    # -- mitigation helpers -------------------------------------------------------------
+
+    def _expand_bandwidth(self, dpid: int, port_no: Optional[int]) -> None:
+        """Temporary bandwidth expansion on the congested link.
+
+        With OpenFlow switches the expansion is emulated by raising the link
+        capacity in the data plane (the operator's TE knob); legitimate TCP
+        senders grow into it, bots do not.
+        """
+        network = self.deployment.cluster.network
+        for link in network.links:
+            for endpoint in link.endpoints():
+                point = endpoint.switch_point
+                if point and point.dpid == dpid and (
+                    port_no is None or point.port == port_no
+                ):
+                    link.capacity_bps *= 2.0
+                    return
+
+    def block_suspicious(self) -> int:
+        """Explicitly block every currently suspicious source."""
+        pending = [ip for ip in self.suspicious_sources if ip not in self._blocked]
+        if not pending:
+            return 0
+        rules = self.nb.Reactor(None, BlockReaction(target_ips=pending))
+        self._blocked.update(pending)
+        return rules

@@ -1,0 +1,128 @@
+"""Scenario 3: the Network Application Effectiveness (NAE) monitor.
+
+Registers an event handler for flow features on the monitored switches
+("Match DPID == (6 or 3)"), aggregates packet counts per application,
+switch and time bucket, and checks the user-defined SLA — traffic should
+be distributed evenly per switch.  Violations raise operator alerts and the
+aggregated series renders through ShowResults (Figure 9).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.app import AthenaApp
+from repro.core.feature_format import AthenaFeature
+from repro.core.query import GenerateQuery
+
+
+class NAEMonitorApp(AthenaApp):
+    """SLA-violation detector for competing network applications."""
+
+    def __init__(
+        self,
+        name: str = "nae-monitor",
+        monitored_switches: Tuple[int, int] = (6, 3),
+        bucket_seconds: float = 5.0,
+        sla_imbalance_threshold: float = 0.75,
+        min_bucket_packets: float = 200.0,
+    ) -> None:
+        super().__init__(name)
+        self.monitored_switches = monitored_switches
+        self.bucket_seconds = bucket_seconds
+        #: SLA: max share of traffic one switch may carry (0.5 = perfectly even).
+        self.sla_imbalance_threshold = sla_imbalance_threshold
+        #: Don't judge a bucket until it has seen this much traffic.
+        self.min_bucket_packets = min_bucket_packets
+        #: (bucket, switch_id, app_id) -> packet count delta sum.
+        self.series: Dict[Tuple[int, int, str], float] = defaultdict(float)
+        self.violations: List[Dict[str, Any]] = []
+        self._handler_id: Optional[int] = None
+        self._current_bucket: Optional[int] = None
+
+    # -- lifecycle (the paper's ~30-line monitor) -----------------------------
+
+    def on_attach(self) -> None:
+        a, b = self.monitored_switches
+        query = GenerateQuery(
+            f"feature_scope == flow && (switch_id == {a} || switch_id == {b})"
+        )
+        self._handler_id = self.nb.AddEventHandler(query, self._event_handler)
+
+    def on_detach(self) -> None:
+        if self._handler_id is not None:
+            self.nb.remove_event_handler(self._handler_id)
+            self._handler_id = None
+
+    # -- event handling ----------------------------------------------------------
+
+    def _event_handler(self, feature: AthenaFeature) -> None:
+        """Aggregate by app id, switch id, and timestamp; then Check_SLA."""
+        bucket = int(feature.timestamp // self.bucket_seconds)
+        app_id = feature.app_id or "unknown"
+        delta = feature.fields.get(
+            "FLOW_PACKET_COUNT_VAR", feature.fields.get("FLOW_PACKET_COUNT", 0.0)
+        )
+        self.series[(bucket, feature.switch_id, app_id)] += max(0.0, delta)
+        # Judge a bucket only once it is complete: statistics polls deliver
+        # one switch's features before the other's, so a live bucket is
+        # transiently one-sided even under perfect balance.
+        if self._current_bucket is not None and bucket > self._current_bucket:
+            self.check_sla(self._current_bucket)
+        self._current_bucket = max(bucket, self._current_bucket or bucket)
+
+    def check_sla(self, bucket: int) -> bool:
+        """The custom SLA check: per-switch traffic shares must stay even."""
+        per_switch: Dict[int, float] = defaultdict(float)
+        for (b, switch_id, _app), packets in self.series.items():
+            if b == bucket:
+                per_switch[switch_id] += packets
+        total = sum(per_switch.values())
+        if total < self.min_bucket_packets or len(per_switch) < 1:
+            return True
+        top_switch, top_packets = max(per_switch.items(), key=lambda kv: kv[1])
+        share = top_packets / total
+        if share > self.sla_imbalance_threshold:
+            violation = {
+                "bucket": bucket,
+                "time": bucket * self.bucket_seconds,
+                "switch_id": top_switch,
+                "share": share,
+                "per_switch": dict(per_switch),
+            }
+            if not any(v["bucket"] == bucket for v in self.violations):
+                self.violations.append(violation)
+                self.deployment.ui_manager.alert(
+                    self.name,
+                    f"SLA violation at t={violation['time']:.0f}s: switch "
+                    f"{top_switch} carries {share:.0%} of monitored traffic",
+                )
+            return False
+        return True
+
+    # -- reporting (ResultsGenerator + ShowResults) ------------------------------------
+
+    def results_rows(self) -> List[Dict[str, Any]]:
+        """The aggregated series as chartable rows (Figure 9's data)."""
+        rows = []
+        for (bucket, switch_id, app_id), packets in sorted(self.series.items()):
+            rows.append(
+                {
+                    "timestamp": bucket * self.bucket_seconds,
+                    "switch_id": switch_id,
+                    "app_id": app_id,
+                    "value": packets,
+                }
+            )
+        return rows
+
+    def show(self) -> str:
+        """Render the per-switch packet-count series (Figure 9)."""
+        rows = self.results_rows()
+        if not rows:
+            return self.nb.ShowResults("(no NAE data)")
+        chart = self.deployment.ui_manager.show_timeseries(
+            rows, group_field="switch_id"
+        )
+        return chart

@@ -1,0 +1,27 @@
+"""Baseline implementations Athena is compared against.
+
+* :mod:`repro.baselines.raw_ddos` — the DDoS detector written *directly*
+  against the database and compute clusters, the way the paper's Spark and
+  Hama baselines were: manual query construction, manual parsing and
+  validation, hand-rolled distributed normalisation, hand-rolled
+  distributed K-Means / logistic regression, manual evaluation and report
+  formatting.  Table VIII counts its source lines against the Athena app's.
+* :mod:`repro.baselines.braga` — the SOM-based detector of Braga et
+  al. [10] on its original 6-tuple, the prior work of Table VI.
+"""
+
+from repro.baselines.braga import BragaSOMDetector
+from repro.baselines.raw_ddos import (
+    RawDDoSKMeansJob,
+    RawDDoSLogisticJob,
+    raw_kmeans_source_lines,
+    raw_logistic_source_lines,
+)
+
+__all__ = [
+    "BragaSOMDetector",
+    "RawDDoSKMeansJob",
+    "RawDDoSLogisticJob",
+    "raw_kmeans_source_lines",
+    "raw_logistic_source_lines",
+]

@@ -1,0 +1,5 @@
+"""Cbench-style controller benchmarking (Table IX / Figure 11)."""
+
+from repro.cbench.harness import CbenchHarness, CbenchResult, cpu_usage_curve
+
+__all__ = ["CbenchHarness", "CbenchResult", "cpu_usage_curve"]

@@ -1,0 +1,132 @@
+"""Operator command-line interface.
+
+The paper gives operators a GUI/CLI to receive alerts and manage Athena
+applications.  This module is the CLI half: a small argparse front-end over
+the reproduction's main entry points.
+
+    python -m repro.cli info                 # stack inventory
+    python -m repro.cli features             # the feature catalog
+    python -m repro.cli ddos --scale 0.001   # Scenario 1 end-to-end
+    python -m repro.cli cbench --rounds 3    # the Table IX experiment
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.core.features.catalog import FEATURE_CATALOG
+    from repro.core.utility import utility_api_count
+    from repro.ml.registry import list_algorithms
+
+    print("Athena reproduction (DSN 2017)")
+    print(f"  features in catalog : {len(FEATURE_CATALOG)}")
+    print(f"  core NB APIs        : 8")
+    print(f"  utility APIs        : {utility_api_count()}")
+    print(f"  ML algorithms       : {len(list_algorithms())} "
+          f"({', '.join(list_algorithms())})")
+    return 0
+
+
+def _cmd_features(args: argparse.Namespace) -> int:
+    from repro.core.features.catalog import FEATURE_CATALOG
+
+    for name in sorted(FEATURE_CATALOG):
+        definition = FEATURE_CATALOG[name]
+        if args.category and definition.category.value != args.category:
+            continue
+        print(f"{name:32s} {definition.category.value:16s} "
+              f"{definition.scope.value:8s} {definition.description}")
+    return 0
+
+
+def _cmd_ddos(args: argparse.Namespace) -> int:
+    from repro.apps.ddos import DDoSDetectorApp
+    from repro.controller import ControllerCluster
+    from repro.core import AthenaDeployment
+    from repro.dataplane.topologies import enterprise_topology
+    from repro.workloads.ddos import DDoSDatasetGenerator, DDoSDatasetSpec
+
+    generator = DDoSDatasetGenerator(DDoSDatasetSpec(scale=args.scale))
+    documents = generator.generate()
+    train, test = generator.train_test_split(documents)
+    print(f"dataset: {len(documents):,} entries at scale {args.scale}")
+    topo = enterprise_topology()
+    cluster = ControllerCluster(topo.network, n_instances=3)
+    cluster.adopt_domains(topo.domains)
+    athena = AthenaDeployment(cluster)
+    app = DDoSDetectorApp(algorithm=args.algorithm)
+    athena.register_app(app)
+    summary = app.run_batch(train_documents=train, test_documents=test)
+    print(summary.render())
+    return 0
+
+
+def _cmd_cbench(args: argparse.Namespace) -> int:
+    import statistics
+
+    from repro.cbench.harness import CbenchHarness
+
+    harness = CbenchHarness(n_switches=8, match_pool=128,
+                            db_backend=args.backend)
+    print(f"{'mode':12s} {'min':>12s} {'max':>12s} {'avg':>12s}")
+    baselines = {}
+    for mode in ("without", "with_no_db", "with"):
+        rates = [
+            harness.run_throughput(mode, duration_seconds=args.seconds)
+            .responses_per_second
+            for _ in range(args.rounds)
+        ]
+        baselines[mode] = statistics.mean(rates)
+        print(f"{mode:12s} {min(rates):>12,.0f} {max(rates):>12,.0f} "
+              f"{statistics.mean(rates):>12,.0f}")
+    overhead = 1 - baselines["with"] / baselines["without"]
+    print(f"overhead with Athena+DB: {overhead:.1%} (paper: 53.1%)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Athena reproduction operator CLI"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("info", help="stack inventory").set_defaults(
+        handler=_cmd_info
+    )
+
+    features = commands.add_parser("features", help="list the feature catalog")
+    features.add_argument(
+        "--category",
+        choices=["protocol-centric", "combination", "stateful", "variation"],
+        help="restrict to one Table I category",
+    )
+    features.set_defaults(handler=_cmd_features)
+
+    ddos = commands.add_parser("ddos", help="run the Scenario 1 detector")
+    ddos.add_argument("--scale", type=float, default=0.001,
+                      help="fraction of the paper's 37.37M entries")
+    ddos.add_argument("--algorithm", default="kmeans",
+                      help="any registered algorithm name")
+    ddos.set_defaults(handler=_cmd_ddos)
+
+    cbench = commands.add_parser("cbench", help="run the Table IX experiment")
+    cbench.add_argument("--rounds", type=int, default=3)
+    cbench.add_argument("--seconds", type=float, default=0.4,
+                        help="duration of each round")
+    cbench.add_argument("--backend", choices=["mongo", "cassandra"],
+                        default="mongo")
+    cbench.set_defaults(handler=_cmd_cbench)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

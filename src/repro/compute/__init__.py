@@ -1,0 +1,24 @@
+"""A data-parallel compute cluster modeled on Spark.
+
+Athena ships detection-model training and large-scale validation to a
+computing cluster (the paper uses Spark 1.6 + MLlib).  Here a
+:class:`ComputeCluster` executes map/reduce-style jobs over a
+:class:`PartitionedDataset`: each partition becomes a task, tasks are
+scheduled to workers, and the job's *makespan* combines measured per-task
+execution time with an explicit cost model for the parts a single process
+cannot exhibit (task dispatch, result collection, per-round broadcast).
+The model is documented in :mod:`repro.compute.cluster` and ablated in the
+Figure 10 bench.
+"""
+
+from repro.compute.cluster import ClusterConfig, ComputeCluster, JobReport
+from repro.compute.partition import PartitionedDataset
+from repro.compute.worker import Worker
+
+__all__ = [
+    "ClusterConfig",
+    "ComputeCluster",
+    "JobReport",
+    "PartitionedDataset",
+    "Worker",
+]

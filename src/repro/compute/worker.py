@@ -1,0 +1,40 @@
+"""Compute workers.
+
+A worker executes tasks and accumulates its busy time.  Execution is real
+(the task function runs in-process and its wall time is measured); the
+cluster's scheduler decides which worker each task lands on, and the job's
+makespan is derived from the resulting per-worker busy times.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, List, Tuple
+
+
+class Worker:
+    """One executor node."""
+
+    def __init__(self, worker_id: int) -> None:
+        self.worker_id = worker_id
+        self.busy_seconds = 0.0
+        self.tasks_run = 0
+
+    def execute(self, fn: Callable[[Any], Any], payload: Any) -> Tuple[Any, float]:
+        """Run a task, returning (result, measured seconds).
+
+        Failed tasks still consume the worker's time (accounted in
+        ``busy_seconds``) before the exception propagates to the scheduler.
+        """
+        started = time.perf_counter()
+        try:
+            result = fn(payload)
+        finally:
+            elapsed = time.perf_counter() - started
+            self.busy_seconds += elapsed
+            self.tasks_run += 1
+        return result, elapsed
+
+    def reset(self) -> None:
+        self.busy_seconds = 0.0
+        self.tasks_run = 0

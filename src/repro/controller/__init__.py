@@ -1,0 +1,44 @@
+"""A distributed SDN controller modeled on ONOS.
+
+The paper integrates Athena into ONOS 1.6 as a subsystem, hooking the
+OpenFlow controller I/O path and the FlowRule subsystem.  This package
+provides the equivalent substrate: per-instance controllers with mastership
+over switch subsets, a cluster-wide topology view, host tracking, a flow-rule
+subsystem with per-application attribution, a statistics poller that marks
+request XIDs, and standard network applications (reactive forwarding, load
+balancing, security redirection) used by the NAE scenario.
+"""
+
+from repro.controller.cluster import ControllerCluster
+from repro.controller.events import (
+    ControllerEvent,
+    EventBus,
+    FlowRemovedEvent,
+    HostEvent,
+    MessageDirection,
+    PacketInEvent,
+    PortStatusEvent,
+    StatsEvent,
+)
+from repro.controller.discovery import LinkDiscoveryService
+from repro.controller.instance import ControllerInstance
+from repro.controller.apps import LoadBalancerApp, NetworkApp, SecurityRedirectApp
+from repro.controller.forwarding import ReactiveForwarding
+
+__all__ = [
+    "ControllerCluster",
+    "ControllerEvent",
+    "EventBus",
+    "FlowRemovedEvent",
+    "HostEvent",
+    "MessageDirection",
+    "PacketInEvent",
+    "PortStatusEvent",
+    "StatsEvent",
+    "ControllerInstance",
+    "LinkDiscoveryService",
+    "LoadBalancerApp",
+    "NetworkApp",
+    "SecurityRedirectApp",
+    "ReactiveForwarding",
+]

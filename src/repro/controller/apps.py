@@ -1,0 +1,221 @@
+"""Network applications hosted on the controller cluster.
+
+Besides the base class, this module implements the two applications the
+NAE scenario (Section V-C) pits against each other:
+
+* :class:`LoadBalancerApp` — spreads flows toward a set of servers across
+  the available paths, installing rules with a *soft timeout* (the source of
+  Figure 9's sawtooth), and
+* :class:`SecurityRedirectApp` — forces protocol-matched traffic (FTP by
+  default) through the switch hosting an inline security device, at higher
+  priority, which is what starves the load balancer of forwarding control.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.controller.events import PacketInEvent
+from repro.openflow.actions import ActionOutput
+from repro.openflow.constants import IPPROTO_TCP
+from repro.openflow.match import Match
+
+
+class NetworkApp:
+    """Base class: lifecycle plus rule accounting."""
+
+    def __init__(self, app_id: str) -> None:
+        self.app_id = app_id
+        self.cluster = None
+        self.enabled = False
+        self.rules_installed = 0
+
+    def activate(self, cluster) -> None:
+        """Attach to a cluster and begin reacting to events."""
+        self.cluster = cluster
+        self.enabled = True
+
+    def deactivate(self) -> None:
+        """Stop reacting; installed rules are left to time out."""
+        self.enabled = False
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(app_id={self.app_id!r}, enabled={self.enabled})"
+
+
+class LoadBalancerApp(NetworkApp):
+    """Round-robin path load balancing toward a server set.
+
+    Only flows destined to ``server_ips`` are handled.  Rules carry an idle
+    (soft) timeout, so when a flow pauses its rules expire and the next
+    PACKET_IN re-balances it — producing the sawtooth packet-count pattern
+    the paper observes.
+    """
+
+    def __init__(
+        self,
+        server_ips: Sequence[str],
+        app_id: str = "lb",
+        priority: int = 20,
+        idle_timeout: float = 5.0,
+    ) -> None:
+        super().__init__(app_id)
+        self.server_ips = set(server_ips)
+        self.priority = priority
+        self.idle_timeout = idle_timeout
+        self._rr_counter = 0
+
+    def activate(self, cluster) -> None:
+        super().activate(cluster)
+        cluster.bus.subscribe(PacketInEvent, self._on_packet_in)
+
+    def deactivate(self) -> None:
+        if self.cluster is not None:
+            self.cluster.bus.unsubscribe(PacketInEvent, self._on_packet_in)
+        super().deactivate()
+
+    def _on_packet_in(self, event: PacketInEvent) -> None:
+        if not self.enabled or self.cluster is None:
+            return
+        headers = event.message.headers
+        ip_dst = headers.get("ip_dst")
+        # Balance traffic to the servers and the return traffic from them.
+        if ip_dst not in self.server_ips and headers.get("ip_src") not in self.server_ips:
+            return
+        location = self.cluster.hosts.locate_ip(ip_dst) if ip_dst else None
+        if location is None:
+            return
+        paths = self.cluster.topology.all_simple_paths(
+            event.dpid, location.point.dpid, cutoff=6
+        )
+        if not paths:
+            return
+        paths.sort(key=lambda p: (len(p), p))
+        path = paths[self._rr_counter % len(paths)]
+        self._rr_counter += 1
+        self._install_path(path, location.point.port, headers, event)
+
+    def _install_path(
+        self, path: List[int], final_port: int, headers: Dict[str, Any], event: PacketInEvent
+    ) -> None:
+        from repro.controller.forwarding import ReactiveForwarding
+
+        match = ReactiveForwarding.flow_match(headers)
+        hops = []
+        for idx, dpid in enumerate(path):
+            if idx + 1 < len(path):
+                out_port = self.cluster.topology.port_toward(dpid, path[idx + 1])
+            else:
+                out_port = final_port
+            hops.append((dpid, out_port))
+        for dpid, out_port in reversed(hops):
+            buffer_id = (
+                event.message.buffer_id
+                if dpid == event.dpid and event.message.buffer_id >= 0
+                else -1
+            )
+            self.cluster.flow_rules.install(
+                dpid,
+                match,
+                [ActionOutput(port=out_port)],
+                priority=self.priority,
+                app_id=self.app_id,
+                idle_timeout=self.idle_timeout,
+                now=event.time,
+                buffer_id=buffer_id,
+            )
+            self.rules_installed += 1
+
+
+class SecurityRedirectApp(NetworkApp):
+    """Route protocol-matched traffic through an inline security device.
+
+    All flows whose L4 destination port is in ``inspect_ports`` are pinned
+    to a path that traverses ``security_dpid`` before reaching the server,
+    installed at a priority above the load balancer so its rules win on
+    conflict — the exact NAE setup of Figure 8.
+    """
+
+    def __init__(
+        self,
+        security_dpid: int,
+        inspect_ports: Sequence[int] = (20, 21),
+        app_id: str = "security",
+        priority: int = 30,
+        idle_timeout: float = 0.0,
+    ) -> None:
+        super().__init__(app_id)
+        self.security_dpid = security_dpid
+        self.inspect_ports = set(inspect_ports)
+        self.priority = priority
+        self.idle_timeout = idle_timeout
+
+    def activate(self, cluster) -> None:
+        super().activate(cluster)
+        cluster.bus.subscribe(PacketInEvent, self._on_packet_in)
+
+    def deactivate(self) -> None:
+        if self.cluster is not None:
+            self.cluster.bus.unsubscribe(PacketInEvent, self._on_packet_in)
+        super().deactivate()
+
+    def _wants(self, headers: Dict[str, Any]) -> bool:
+        # Both directions of an inspected protocol traverse the device.
+        return headers.get("ip_proto") == IPPROTO_TCP and (
+            headers.get("tcp_dst") in self.inspect_ports
+            or headers.get("tcp_src") in self.inspect_ports
+        )
+
+    def _on_packet_in(self, event: PacketInEvent) -> None:
+        if not self.enabled or self.cluster is None:
+            return
+        headers = event.message.headers
+        if not self._wants(headers):
+            return
+        ip_dst = headers.get("ip_dst")
+        location = self.cluster.hosts.locate_ip(ip_dst) if ip_dst else None
+        if location is None:
+            return
+        topo = self.cluster.topology
+        to_security = topo.shortest_path(event.dpid, self.security_dpid)
+        onward = topo.shortest_path(self.security_dpid, location.point.dpid)
+        if to_security is None or onward is None:
+            return
+        path = to_security + onward[1:]
+        self._install_path(path, location.point.port, headers, event)
+
+    def _install_path(
+        self, path: List[int], final_port: int, headers: Dict[str, Any], event: PacketInEvent
+    ) -> None:
+        from repro.controller.forwarding import ReactiveForwarding
+
+        match = ReactiveForwarding.flow_match(headers)
+        hops = []
+        seen = set()
+        for idx, dpid in enumerate(path):
+            if idx + 1 < len(path):
+                out_port = self.cluster.topology.port_toward(dpid, path[idx + 1])
+            else:
+                out_port = final_port
+            # A path that revisits a switch keeps only the last hop decision.
+            if dpid in seen:
+                hops = [(d, p) for d, p in hops if d != dpid]
+            seen.add(dpid)
+            hops.append((dpid, out_port))
+        for dpid, out_port in reversed(hops):
+            buffer_id = (
+                event.message.buffer_id
+                if dpid == event.dpid and event.message.buffer_id >= 0
+                else -1
+            )
+            self.cluster.flow_rules.install(
+                dpid,
+                match,
+                [ActionOutput(port=out_port)],
+                priority=self.priority,
+                app_id=self.app_id,
+                idle_timeout=self.idle_timeout,
+                now=event.time,
+                buffer_id=buffer_id,
+            )
+            self.rules_installed += 1

@@ -1,0 +1,159 @@
+"""The distributed controller cluster.
+
+Glues instances, mastership, the shared topology/host/flow-rule services and
+a cluster-wide event bus together, mirroring how ONOS presents a logically
+centralised but physically distributed control plane.  Events published on
+any instance's local bus are re-published on the cluster bus tagged with the
+originating instance, so network applications (forwarding, load balancer)
+see the global view while Athena instances stay attached to their local
+controller only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.controller.events import (
+    ControllerEvent,
+    EventBus,
+    FlowRemovedEvent,
+    HostEvent,
+    PacketInEvent,
+)
+from repro.controller.flowrules import FlowRuleService
+from repro.controller.hosts import HostService
+from repro.controller.instance import ControllerInstance
+from repro.controller.mastership import MastershipService
+from repro.controller.topology import TopologyService
+from repro.dataplane.network import Network
+from repro.errors import ControllerError
+from repro.openflow.messages import OpenFlowMessage
+from repro.types import Dpid
+
+
+class ControllerCluster:
+    """A set of controller instances jointly managing one data plane."""
+
+    def __init__(
+        self,
+        network: Network,
+        n_instances: int = 1,
+        poll_interval: float = 5.0,
+    ) -> None:
+        if n_instances < 1:
+            raise ControllerError("cluster needs at least one instance")
+        self.network = network
+        self.sim = network.sim
+        self.bus = EventBus()
+        self.topology = TopologyService()
+        self.hosts = HostService(self.topology)
+        self.mastership = MastershipService()
+        self.flow_rules = FlowRuleService(self.send)
+        self.instances: List[ControllerInstance] = [
+            ControllerInstance(i, self.sim, poll_interval=poll_interval)
+            for i in range(n_instances)
+        ]
+        for instance in self.instances:
+            self._bridge_bus(instance)
+
+    def _bridge_bus(self, instance: ControllerInstance) -> None:
+        instance.bus.subscribe(ControllerEvent, self._republish)
+
+    def _republish(self, event: ControllerEvent) -> None:
+        # Host learning happens centrally before apps see the packet.
+        if isinstance(event, PacketInEvent):
+            headers = event.message.headers
+            mac = headers.get("eth_src")
+            if headers.get("eth_type") == 0x88CC:
+                mac = None  # LLDP probes are not host traffic
+            if mac:
+                location = self.hosts.learn(
+                    mac,
+                    headers.get("ip_src"),
+                    event.dpid,
+                    event.message.in_port,
+                    event.time,
+                )
+                if location is not None:
+                    self.bus.publish(
+                        HostEvent(
+                            instance_id=event.instance_id,
+                            dpid=event.dpid,
+                            time=event.time,
+                            mac=mac,
+                            ip=headers.get("ip_src"),
+                            port=event.message.in_port,
+                        )
+                    )
+        if isinstance(event, FlowRemovedEvent):
+            self.flow_rules.on_flow_removed(
+                event.dpid, event.message.match, event.message.priority
+            )
+        self.bus.publish(event)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def adopt_domains(self, domains: List[List[Dpid]]) -> None:
+        """Assign each dpid list to one instance and connect the switches."""
+        if len(domains) > len(self.instances):
+            raise ControllerError(
+                f"{len(domains)} domains but only {len(self.instances)} instances"
+            )
+        instance_ids = [i.instance_id for i in self.instances]
+        for idx, domain in enumerate(domains):
+            instance = self.instances[idx]
+            standbys = [i for i in instance_ids if i != instance.instance_id]
+            for dpid in domain:
+                switch = self.network.switches.get(dpid)
+                if switch is None:
+                    raise ControllerError(f"unknown dpid in domain: {dpid}")
+                instance.connect_switch(switch)
+                self.mastership.assign(dpid, instance.instance_id, standbys)
+        self.topology.sync_from_network(self.network)
+
+    def adopt_all(self) -> None:
+        """Single-domain convenience: instance 0 masters everything."""
+        self.adopt_domains([list(self.network.switches)])
+
+    def start(self, poll: bool = True, flow_expiry_interval: float = 1.0) -> None:
+        """Arm periodic services (stats polling, flow expiry sweeps)."""
+        self.network.start_flow_expiry(flow_expiry_interval)
+        if poll:
+            for instance in self.instances:
+                instance.poller.start()
+
+    # -- message routing -------------------------------------------------------
+
+    def send(self, dpid: Dpid, msg: OpenFlowMessage) -> None:
+        """Deliver a controller→switch message via the switch's master."""
+        master_id = self.mastership.master_of(dpid)
+        self.instance(master_id).send(dpid, msg)
+
+    def instance(self, instance_id: int) -> ControllerInstance:
+        for instance in self.instances:
+            if instance.instance_id == instance_id:
+                return instance
+        raise ControllerError(f"no instance {instance_id}")
+
+    def instance_of(self, dpid: Dpid) -> ControllerInstance:
+        return self.instance(self.mastership.master_of(dpid))
+
+    def fail_instance(self, instance_id: int) -> List[Dpid]:
+        """Simulate an instance failure: all its switches fail over."""
+        failed = self.instance(instance_id)
+        moved: List[Dpid] = []
+        for dpid in list(failed.switches):
+            switch = failed.disconnect_switch(dpid)
+            new_master = self.mastership.failover(dpid)
+            self.instance(new_master).connect_switch(switch)
+            moved.append(dpid)
+        return moved
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "instances": len(self.instances),
+            "switches": self.topology.switch_count(),
+            "links": self.topology.link_count(),
+            "hosts": self.hosts.host_count(),
+            "flow_rules": self.flow_rules.total_rules(),
+        }

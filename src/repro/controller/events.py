@@ -1,0 +1,103 @@
+"""Controller event bus and event types.
+
+Controller subsystems and applications communicate through a synchronous
+publish/subscribe bus, mirroring ONOS's event dispatch.  Athena's southbound
+interface subscribes to the same bus (plus raw message taps) to observe
+control-plane behaviour without modifying the subsystems themselves.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, DefaultDict, List, Optional, Type
+
+from repro.openflow.messages import (
+    FlowRemoved,
+    OpenFlowMessage,
+    PacketIn,
+    PortStatus,
+    StatsReply,
+)
+
+
+class MessageDirection(Enum):
+    """Direction of an OpenFlow message relative to the controller."""
+
+    FROM_SWITCH = "from_switch"
+    TO_SWITCH = "to_switch"
+
+
+@dataclass
+class ControllerEvent:
+    """Base event: where and when it happened."""
+
+    instance_id: int = 0
+    dpid: int = 0
+    time: float = 0.0
+
+
+@dataclass
+class PacketInEvent(ControllerEvent):
+    message: PacketIn = None  # type: ignore[assignment]
+
+
+@dataclass
+class FlowRemovedEvent(ControllerEvent):
+    message: FlowRemoved = None  # type: ignore[assignment]
+
+
+@dataclass
+class PortStatusEvent(ControllerEvent):
+    message: PortStatus = None  # type: ignore[assignment]
+
+
+@dataclass
+class StatsEvent(ControllerEvent):
+    """A statistics reply, tagged with whether Athena's poller requested it."""
+
+    message: StatsReply = None  # type: ignore[assignment]
+    athena_marked: bool = False
+
+
+@dataclass
+class HostEvent(ControllerEvent):
+    """A host was discovered or moved."""
+
+    mac: str = ""
+    ip: Optional[str] = None
+    port: int = 0
+
+
+@dataclass
+class TopologyEvent(ControllerEvent):
+    """A link or switch changed state."""
+
+    kind: str = "link"
+    up: bool = True
+    port: int = 0
+
+
+class EventBus:
+    """Synchronous type-keyed publish/subscribe dispatcher."""
+
+    def __init__(self) -> None:
+        self._listeners: DefaultDict[type, List[Callable]] = defaultdict(list)
+
+    def subscribe(self, event_type: Type[ControllerEvent], listener: Callable) -> None:
+        self._listeners[event_type].append(listener)
+
+    def unsubscribe(self, event_type: Type[ControllerEvent], listener: Callable) -> None:
+        if listener in self._listeners.get(event_type, []):
+            self._listeners[event_type].remove(listener)
+
+    def publish(self, event: ControllerEvent) -> None:
+        for event_type in type(event).__mro__:
+            if event_type is object:
+                break
+            for listener in list(self._listeners.get(event_type, [])):
+                listener(event)
+
+    def listener_count(self, event_type: Type[ControllerEvent]) -> int:
+        return len(self._listeners.get(event_type, []))

@@ -1,0 +1,148 @@
+"""Reactive shortest-path forwarding.
+
+The default ONOS-like forwarding application: on a PACKET_IN it locates the
+destination host, computes the weighted shortest path, installs per-flow
+rules along the whole path (releasing the buffered packet on the origin
+switch), and floods when the destination is still unknown.  The per-flow
+entries it installs are the source of Athena's flow-granularity features.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.controller.apps import NetworkApp
+from repro.controller.events import PacketInEvent
+from repro.openflow.actions import ActionOutput
+from repro.openflow.match import Match
+from repro.openflow.messages import PacketOut
+from repro.types import ConnectPoint, OFPP_FLOOD
+
+
+class ReactiveForwarding(NetworkApp):
+    """Install end-to-end per-flow paths reactively."""
+
+    def __init__(
+        self,
+        app_id: str = "fwd",
+        idle_timeout: float = 10.0,
+        hard_timeout: float = 0.0,
+        priority: int = 10,
+    ) -> None:
+        super().__init__(app_id)
+        self.idle_timeout = idle_timeout
+        self.hard_timeout = hard_timeout
+        self.priority = priority
+        self.flooded = 0
+        self.paths_installed = 0
+
+    def activate(self, cluster) -> None:
+        super().activate(cluster)
+        cluster.bus.subscribe(PacketInEvent, self._on_packet_in)
+
+    def deactivate(self) -> None:
+        if self.cluster is not None:
+            self.cluster.bus.unsubscribe(PacketInEvent, self._on_packet_in)
+        super().deactivate()
+
+    @staticmethod
+    def flow_match(headers: Dict[str, Any]) -> Match:
+        """The match granularity installed per flow (L2-L4 5-tuple style)."""
+        keep = (
+            "eth_type",
+            "eth_src",
+            "eth_dst",
+            "ip_src",
+            "ip_dst",
+            "ip_proto",
+            "tcp_src",
+            "tcp_dst",
+        )
+        return Match.from_dict(
+            {k: headers[k] for k in keep if headers.get(k) is not None}
+        )
+
+    def _on_packet_in(self, event: PacketInEvent) -> None:
+        if self.cluster is None or not self.enabled:
+            return
+        headers = event.message.headers
+        if headers.get("eth_type") == 0x88CC:
+            return  # LLDP probes belong to link discovery, not forwarding
+        dst_mac = headers.get("eth_dst")
+        location = self.cluster.hosts.locate_mac(dst_mac) if dst_mac else None
+        if location is None and headers.get("ip_dst"):
+            location = self.cluster.hosts.locate_ip(headers["ip_dst"])
+        if location is None:
+            self._flood(event)
+            return
+        path = self.cluster.topology.shortest_path(event.dpid, location.point.dpid)
+        if path is None:
+            self._flood(event)
+            return
+        self.install_path(
+            path,
+            final_port=location.point.port,
+            match=self.flow_match(headers),
+            event=event,
+        )
+        self.paths_installed += 1
+
+    def install_path(self, path, final_port: int, match: Match, event: PacketInEvent) -> None:
+        """Install the rule chain along ``path`` (origin switch last, with
+        the buffer id, so the pending packet is forwarded on install)."""
+        hops = []
+        for idx, dpid in enumerate(path):
+            if idx + 1 < len(path):
+                out_port = self.cluster.topology.port_toward(dpid, path[idx + 1])
+            else:
+                out_port = final_port
+            hops.append((dpid, out_port))
+        # Downstream first so the released packet finds rules in place.
+        for dpid, out_port in reversed(hops):
+            buffer_id = (
+                event.message.buffer_id
+                if dpid == event.dpid and event.message.buffer_id >= 0
+                else -1
+            )
+            self.cluster.flow_rules.install(
+                dpid,
+                match,
+                [ActionOutput(port=out_port)],
+                priority=self.priority,
+                app_id=self.app_id,
+                idle_timeout=self.idle_timeout,
+                hard_timeout=self.hard_timeout,
+                now=event.time,
+                buffer_id=buffer_id,
+            )
+            self.rules_installed += 1
+
+    def _flood(self, event: PacketInEvent) -> None:
+        """Flood along the spanning tree (plus edge ports) to avoid storms."""
+        self.flooded += 1
+        topology = self.cluster.topology
+        switch = self.cluster.network.switches.get(event.dpid)
+        allowed = topology.spanning_tree_points()
+        actions = []
+        for port_no in sorted(switch.ports) if switch else []:
+            if port_no == event.message.in_port:
+                continue
+            point = ConnectPoint(event.dpid, port_no)
+            if topology.is_infrastructure_port(point) and point not in allowed:
+                continue
+            actions.append(ActionOutput(port=port_no))
+        if switch is None:
+            # No port knowledge (detached bench switches): raw flood.
+            actions = [ActionOutput(port=OFPP_FLOOD)]
+        # An empty action list silently drops: a leaf of the spanning tree
+        # with no edge ports has nowhere left to flood.
+        self.cluster.send(
+            event.dpid,
+            PacketOut(
+                buffer_id=event.message.buffer_id,
+                in_port=event.message.in_port,
+                actions=actions,
+                headers=dict(event.message.headers),
+                total_len=event.message.total_len,
+            ),
+        )

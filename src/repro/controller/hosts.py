@@ -1,0 +1,68 @@
+"""Host location service.
+
+Learns where hosts live from PACKET_IN events arriving on edge ports, the
+way ONOS's HostService does from ARP/NDP.  Locations feed path computation
+and Athena's flow-origin meta data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.controller.topology import TopologyService
+from repro.types import ConnectPoint, Dpid
+
+
+@dataclass
+class HostLocation:
+    """Where a host was last seen."""
+
+    mac: str
+    ip: Optional[str]
+    point: ConnectPoint
+    last_seen: float
+
+
+class HostService:
+    """MAC / IP to attachment-point mapping learned from traffic."""
+
+    def __init__(self, topology: TopologyService) -> None:
+        self._topology = topology
+        self._by_mac: Dict[str, HostLocation] = {}
+        self._by_ip: Dict[str, HostLocation] = {}
+
+    def learn(
+        self,
+        mac: str,
+        ip: Optional[str],
+        dpid: Dpid,
+        port: int,
+        now: float,
+    ) -> Optional[HostLocation]:
+        """Record a sighting; infrastructure ports are ignored."""
+        point = ConnectPoint(dpid, port)
+        if self._topology.is_infrastructure_port(point):
+            return None
+        location = HostLocation(mac=mac, ip=ip, point=point, last_seen=now)
+        self._by_mac[mac] = location
+        if ip is not None:
+            self._by_ip[ip] = location
+        return location
+
+    def locate_mac(self, mac: str) -> Optional[HostLocation]:
+        return self._by_mac.get(mac)
+
+    def locate_ip(self, ip: str) -> Optional[HostLocation]:
+        return self._by_ip.get(ip)
+
+    def host_count(self) -> int:
+        return len(self._by_mac)
+
+    def all_hosts(self):
+        return list(self._by_mac.values())
+
+    def forget(self, mac: str) -> None:
+        location = self._by_mac.pop(mac, None)
+        if location is not None and location.ip is not None:
+            self._by_ip.pop(location.ip, None)

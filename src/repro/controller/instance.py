@@ -1,0 +1,162 @@
+"""A single controller instance.
+
+Each instance owns the control channels to the switches it masters,
+dispatches their messages onto its local event bus, and exposes the two
+hook points Athena's integration needs:
+
+* **message taps** — callbacks invoked for every OpenFlow message crossing
+  the instance in either direction (the paper modifies
+  ``OpenFlowController`` for this), and
+* **proxy rule injection** — rule installation that goes through the
+  instance's flow-rule bookkeeping so controller state stays consistent
+  (the Athena Proxy requirement).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.controller.events import (
+    EventBus,
+    FlowRemovedEvent,
+    MessageDirection,
+    PacketInEvent,
+    PortStatusEvent,
+    StatsEvent,
+)
+from repro.controller.stats import ISSUER_ATHENA, StatsPoller
+from repro.dataplane.switch import OpenFlowSwitch
+from repro.errors import ControllerError
+from repro.openflow.messages import (
+    FlowRemoved,
+    OpenFlowMessage,
+    PacketIn,
+    PortStatus,
+    StatsReply,
+)
+from repro.simkernel import Simulator
+from repro.types import Dpid
+
+MessageTap = Callable[[OpenFlowMessage, MessageDirection, int], None]
+
+
+class ControllerInstance:
+    """One ONOS-like controller instance in the cluster."""
+
+    def __init__(
+        self,
+        instance_id: int,
+        sim: Simulator,
+        poll_interval: float = 5.0,
+    ) -> None:
+        self.instance_id = instance_id
+        self.sim = sim
+        self.bus = EventBus()
+        self.switches: Dict[Dpid, OpenFlowSwitch] = {}
+        self.poller = StatsPoller(sim, self.send, interval=poll_interval)
+        self._taps: List[MessageTap] = []
+        # Counters used by the Cbench and CPU-usage experiments.
+        self.messages_from_switches = 0
+        self.messages_to_switches = 0
+        self.packet_ins_handled = 0
+
+    # -- wiring ------------------------------------------------------------
+
+    def connect_switch(self, switch: OpenFlowSwitch) -> None:
+        """Take mastership of a switch's control channel."""
+        if switch.dpid in self.switches:
+            raise ControllerError(
+                f"instance {self.instance_id} already masters {switch.name}"
+            )
+        self.switches[switch.dpid] = switch
+        switch.connect_controller(self._on_switch_message)
+        self.poller.manage(switch.dpid)
+
+    def disconnect_switch(self, dpid: Dpid) -> Optional[OpenFlowSwitch]:
+        switch = self.switches.pop(dpid, None)
+        if switch is not None:
+            self.poller.unmanage(dpid)
+        return switch
+
+    def add_message_tap(self, tap: MessageTap) -> None:
+        """Register an Athena southbound tap (both message directions)."""
+        self._taps.append(tap)
+
+    def remove_message_tap(self, tap: MessageTap) -> None:
+        if tap in self._taps:
+            self._taps.remove(tap)
+
+    # -- message paths -------------------------------------------------------
+
+    def send(self, dpid: Dpid, msg: OpenFlowMessage) -> None:
+        """Controller → switch delivery (synchronous control channel)."""
+        switch = self.switches.get(dpid)
+        if switch is None:
+            raise ControllerError(
+                f"instance {self.instance_id} does not master dpid {dpid}"
+            )
+        msg.dpid = dpid
+        self.messages_to_switches += 1
+        for tap in self._taps:
+            tap(msg, MessageDirection.TO_SWITCH, self.instance_id)
+        switch.handle_message(msg, self.sim.now)
+
+    def mark_athena_xid(self, xid: int) -> None:
+        """Expose the paper's XID-marking hook to the Athena proxy."""
+        self.poller.mark_xid(xid, ISSUER_ATHENA)
+
+    def _on_switch_message(self, msg: OpenFlowMessage) -> None:
+        """Switch → controller delivery: tap, then dispatch as events."""
+        self.messages_from_switches += 1
+        for tap in self._taps:
+            tap(msg, MessageDirection.FROM_SWITCH, self.instance_id)
+        now = self.sim.now
+        if isinstance(msg, PacketIn):
+            self.packet_ins_handled += 1
+            self.bus.publish(
+                PacketInEvent(
+                    instance_id=self.instance_id,
+                    dpid=msg.dpid,
+                    time=now,
+                    message=msg,
+                )
+            )
+        elif isinstance(msg, FlowRemoved):
+            self.bus.publish(
+                FlowRemovedEvent(
+                    instance_id=self.instance_id,
+                    dpid=msg.dpid,
+                    time=now,
+                    message=msg,
+                )
+            )
+        elif isinstance(msg, PortStatus):
+            self.bus.publish(
+                PortStatusEvent(
+                    instance_id=self.instance_id,
+                    dpid=msg.dpid,
+                    time=now,
+                    message=msg,
+                )
+            )
+        elif isinstance(msg, StatsReply):
+            issuer = self.poller.issuer_of(msg.xid)
+            self.bus.publish(
+                StatsEvent(
+                    instance_id=self.instance_id,
+                    dpid=msg.dpid,
+                    time=now,
+                    message=msg,
+                    athena_marked=issuer == ISSUER_ATHENA,
+                )
+            )
+        # Echo/Barrier/Features replies are absorbed silently.
+
+    def owned_dpids(self) -> List[Dpid]:
+        return sorted(self.switches)
+
+    def __repr__(self) -> str:
+        return (
+            f"ControllerInstance(id={self.instance_id}, "
+            f"switches={sorted(self.switches)})"
+        )

@@ -1,0 +1,53 @@
+"""Switch mastership across controller instances.
+
+In ONOS each device has exactly one master instance; other instances may
+hold standby roles.  Athena instances monitor only the switches their local
+controller masters, which is what makes the framework's feature collection
+fully distributed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ControllerError
+from repro.types import Dpid
+
+
+class MastershipService:
+    """Tracks which controller instance masters each switch."""
+
+    def __init__(self) -> None:
+        self._master: Dict[Dpid, int] = {}
+        self._standbys: Dict[Dpid, List[int]] = {}
+
+    def assign(self, dpid: Dpid, instance_id: int, standbys: Optional[List[int]] = None) -> None:
+        self._master[dpid] = instance_id
+        self._standbys[dpid] = list(standbys or [])
+
+    def master_of(self, dpid: Dpid) -> int:
+        master = self._master.get(dpid)
+        if master is None:
+            raise ControllerError(f"no master assigned for dpid {dpid}")
+        return master
+
+    def is_master(self, instance_id: int, dpid: Dpid) -> bool:
+        return self._master.get(dpid) == instance_id
+
+    def switches_of(self, instance_id: int) -> List[Dpid]:
+        return sorted(d for d, m in self._master.items() if m == instance_id)
+
+    def failover(self, dpid: Dpid) -> int:
+        """Promote the first standby to master (instance failure handling)."""
+        standbys = self._standbys.get(dpid, [])
+        if not standbys:
+            raise ControllerError(f"no standby available for dpid {dpid}")
+        new_master = standbys.pop(0)
+        old = self._master.get(dpid)
+        if old is not None:
+            standbys.append(old)
+        self._master[dpid] = new_master
+        return new_master
+
+    def instance_count(self) -> int:
+        return len(set(self._master.values()))

@@ -1,0 +1,80 @@
+"""The statistics poller.
+
+ONOS polls its devices for flow and port statistics as part of normal
+management; Athena additionally issues its own statistics requests and marks
+their XIDs so variation features are computed only over samples *it*
+requested (the paper modifies ``OpenFlowDeviceProvider`` for exactly this).
+The poller therefore keeps a registry of outstanding XIDs and who issued
+them; the controller instance consults it when a reply arrives.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.openflow.match import Match
+from repro.openflow.messages import (
+    FlowStatsRequest,
+    OpenFlowMessage,
+    PortStatsRequest,
+)
+from repro.simkernel import Simulator
+from repro.types import Dpid
+
+SendFn = Callable[[Dpid, OpenFlowMessage], None]
+
+#: Issuer tags.
+ISSUER_CONTROLLER = "controller"
+ISSUER_ATHENA = "athena"
+
+
+class StatsPoller:
+    """Periodic flow/port statistics polling with XID attribution."""
+
+    def __init__(self, sim: Simulator, send: SendFn, interval: float = 5.0) -> None:
+        self._sim = sim
+        self._send = send
+        self.interval = interval
+        self._switches: List[Dpid] = []
+        self._issuers: Dict[int, str] = {}
+        self._armed = False
+        self.polls_issued = 0
+
+    def manage(self, dpid: Dpid) -> None:
+        if dpid not in self._switches:
+            self._switches.append(dpid)
+
+    def unmanage(self, dpid: Dpid) -> None:
+        if dpid in self._switches:
+            self._switches.remove(dpid)
+
+    def start(self) -> None:
+        """Arm the periodic background poll (the controller's own polling)."""
+        if self._armed:
+            return
+        self._armed = True
+        self._sim.every(self.interval, self.poll_once)
+
+    def poll_once(self, issuer: str = ISSUER_CONTROLLER, switches: Optional[List[Dpid]] = None) -> List[int]:
+        """Issue one round of flow+port stats requests; returns the XIDs."""
+        xids: List[int] = []
+        for dpid in switches if switches is not None else self._switches:
+            flow_req = FlowStatsRequest(match=Match())
+            port_req = PortStatsRequest(port_no=None)
+            for request in (flow_req, port_req):
+                self._issuers[request.xid] = issuer
+                xids.append(request.xid)
+                self._send(dpid, request)
+            self.polls_issued += 1
+        return xids
+
+    def mark_xid(self, xid: int, issuer: str = ISSUER_ATHENA) -> None:
+        """Record an externally issued request (the Athena proxy path)."""
+        self._issuers[xid] = issuer
+
+    def issuer_of(self, xid: int) -> Optional[str]:
+        """Look up (and consume) the issuer of a reply's XID."""
+        return self._issuers.pop(xid, None)
+
+    def outstanding(self) -> int:
+        return len(self._issuers)

@@ -1,0 +1,130 @@
+"""Cluster-wide topology service.
+
+Maintains a networkx graph of switches and the port mappings between
+adjacent ones, answers shortest-path queries for the forwarding apps, and
+distinguishes infrastructure ports (switch-switch) from edge ports
+(host-facing) — the distinction host learning depends on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.dataplane.network import Network
+from repro.errors import ControllerError
+from repro.types import ConnectPoint, Dpid
+
+
+class TopologyService:
+    """Graph view of the data plane shared by all controller instances."""
+
+    def __init__(self) -> None:
+        self.graph = nx.Graph()
+        #: (dpid_a, dpid_b) -> (port on a toward b, port on b toward a)
+        self._ports: Dict[Tuple[Dpid, Dpid], Tuple[int, int]] = {}
+        self._infrastructure: Set[ConnectPoint] = set()
+        self._st_cache: Optional[Set[ConnectPoint]] = None
+
+    def sync_from_network(self, network: Network) -> None:
+        """Discover the full topology (stands in for LLDP discovery)."""
+        self.graph.clear()
+        self._ports.clear()
+        self._infrastructure.clear()
+        self._st_cache = None
+        for dpid in network.switches:
+            self.graph.add_node(dpid)
+        for point_a, point_b in network.switch_links():
+            self.add_link(point_a, point_b)
+
+    def add_link(self, a: ConnectPoint, b: ConnectPoint, weight: float = 1.0) -> None:
+        self.graph.add_edge(a.dpid, b.dpid, weight=weight)
+        self._ports[(a.dpid, b.dpid)] = (a.port, b.port)
+        self._ports[(b.dpid, a.dpid)] = (b.port, a.port)
+        self._infrastructure.add(a)
+        self._infrastructure.add(b)
+        self._st_cache = None
+
+    def remove_link(self, a_dpid: Dpid, b_dpid: Dpid) -> None:
+        if self.graph.has_edge(a_dpid, b_dpid):
+            self.graph.remove_edge(a_dpid, b_dpid)
+        ports = self._ports.pop((a_dpid, b_dpid), None)
+        reverse = self._ports.pop((b_dpid, a_dpid), None)
+        if ports:
+            self._infrastructure.discard(ConnectPoint(a_dpid, ports[0]))
+        if reverse:
+            self._infrastructure.discard(ConnectPoint(b_dpid, reverse[0]))
+        self._st_cache = None
+
+    def set_link_weight(self, a_dpid: Dpid, b_dpid: Dpid, weight: float) -> None:
+        """Adjust the routing weight of a link (used by traffic engineering)."""
+        if not self.graph.has_edge(a_dpid, b_dpid):
+            raise ControllerError(f"no link {a_dpid}<->{b_dpid}")
+        self.graph[a_dpid][b_dpid]["weight"] = weight
+        self._st_cache = None
+
+    def is_infrastructure_port(self, point: ConnectPoint) -> bool:
+        """True if the port carries a switch-to-switch link."""
+        return point in self._infrastructure
+
+    def port_toward(self, from_dpid: Dpid, to_dpid: Dpid) -> int:
+        """The egress port on ``from_dpid`` reaching adjacent ``to_dpid``."""
+        ports = self._ports.get((from_dpid, to_dpid))
+        if ports is None:
+            raise ControllerError(f"switches not adjacent: {from_dpid}, {to_dpid}")
+        return ports[0]
+
+    def shortest_path(self, src: Dpid, dst: Dpid) -> Optional[List[Dpid]]:
+        """Weighted shortest dpid path, or None if disconnected."""
+        if src == dst:
+            return [src]
+        try:
+            return nx.shortest_path(self.graph, src, dst, weight="weight")
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return None
+
+    def all_shortest_paths(self, src: Dpid, dst: Dpid) -> List[List[Dpid]]:
+        """Every equal-cost shortest path (load balancer input)."""
+        if src == dst:
+            return [[src]]
+        try:
+            return list(nx.all_shortest_paths(self.graph, src, dst, weight="weight"))
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return []
+
+    def all_simple_paths(self, src: Dpid, dst: Dpid, cutoff: int = 8) -> List[List[Dpid]]:
+        """Simple paths up to ``cutoff`` hops (flow-migration candidates)."""
+        try:
+            return list(nx.all_simple_paths(self.graph, src, dst, cutoff=cutoff))
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return []
+
+    def spanning_tree_points(self) -> Set[ConnectPoint]:
+        """Connect-points on a spanning tree of the topology.
+
+        Flooding is restricted to these infrastructure ports (plus all edge
+        ports), which prevents broadcast storms in cyclic topologies — the
+        same role ONOS's spanning-tree-based broadcast suppression plays.
+        """
+        if self._st_cache is not None:
+            return self._st_cache
+        allowed: Set[ConnectPoint] = set()
+        tree = nx.minimum_spanning_tree(self.graph, weight="weight")
+        for a_dpid, b_dpid in tree.edges():
+            ports = self._ports.get((a_dpid, b_dpid))
+            if ports is None:
+                continue
+            allowed.add(ConnectPoint(a_dpid, ports[0]))
+            allowed.add(ConnectPoint(b_dpid, ports[1]))
+        self._st_cache = allowed
+        return allowed
+
+    def degree(self, dpid: Dpid) -> int:
+        return int(self.graph.degree(dpid)) if dpid in self.graph else 0
+
+    def link_count(self) -> int:
+        return self.graph.number_of_edges()
+
+    def switch_count(self) -> int:
+        return self.graph.number_of_nodes()

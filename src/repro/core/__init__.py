@@ -1,0 +1,44 @@
+"""The Athena framework — the paper's primary contribution.
+
+Layout mirrors Figure 3:
+
+* southbound element (:mod:`repro.core.southbound`): the SB interface and
+  Athena Proxy, the Feature Generator, the Attack Detector and the Attack
+  Reactor — one per controller instance;
+* northbound element (:mod:`repro.core.northbound` and the manager
+  modules): the Feature/Detector/Reaction/Resource/UI managers and the
+  eight core NB APIs of Table II;
+* off-the-shelf strategies: the feature catalog
+  (:mod:`repro.core.features`), the query language
+  (:mod:`repro.core.query`), preprocessors, algorithms and reactions.
+
+:class:`~repro.core.deployment.AthenaDeployment` wires everything to a
+controller cluster, a database cluster and a compute cluster.
+"""
+
+from repro.core.algorithm import Algorithm, GenerateAlgorithm
+from repro.core.deployment import AthenaDeployment, AthenaInstance
+from repro.core.feature_format import AthenaFeature, FeatureScope
+from repro.core.northbound import AthenaNorthbound
+from repro.core.preprocessor import GeneratePreprocessor, Preprocessor
+from repro.core.query import GenerateQuery, Query
+from repro.core.reactions import BlockReaction, QuarantineReaction, Reaction
+from repro.core.results import ValidationSummary
+
+__all__ = [
+    "Algorithm",
+    "GenerateAlgorithm",
+    "AthenaDeployment",
+    "AthenaInstance",
+    "AthenaFeature",
+    "FeatureScope",
+    "AthenaNorthbound",
+    "GeneratePreprocessor",
+    "Preprocessor",
+    "GenerateQuery",
+    "Query",
+    "BlockReaction",
+    "QuarantineReaction",
+    "Reaction",
+    "ValidationSummary",
+]

@@ -1,0 +1,58 @@
+"""The Algorithm NB parameter (Table IV).
+
+An :class:`Algorithm` is a named description — "K-Means with k=8, 20
+iterations" — that the Detector Manager later instantiates through the ML
+registry.  Keeping it declarative lets applications stay agnostic to the
+ML implementation, and lets the Detector Manager auto-configure the
+surrounding pipeline from the algorithm's category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.ml.base import Estimator
+from repro.ml.registry import category_of, create_algorithm
+
+
+@dataclass
+class Algorithm:
+    """Declarative algorithm description with parameters."""
+
+    name: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def category(self) -> str:
+        """Table IV category: boosting / classification / clustering /
+        regression / simple."""
+        return category_of(self.name)
+
+    @property
+    def needs_labels(self) -> bool:
+        """Whether training requires labels (classification-style learning)."""
+        return self.category in ("boosting", "classification", "regression")
+
+    @property
+    def needs_marks(self) -> bool:
+        """Whether cluster labelling via Marking is required (clustering)."""
+        return self.category == "clustering"
+
+    @property
+    def has_learning_phase(self) -> bool:
+        """Simple (threshold) algorithms export a pre-defined model."""
+        return self.category != "simple"
+
+    def instantiate(self) -> Estimator:
+        """Create the concrete estimator from the registry."""
+        return create_algorithm(self.name, **self.params)
+
+    def __str__(self) -> str:
+        rendered = ", ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"{self.name}({rendered})"
+
+
+def GenerateAlgorithm(name: str, **params: Any) -> Algorithm:
+    """NB utility API: describe a detection algorithm with its parameters."""
+    return Algorithm(name=name, params=dict(params))

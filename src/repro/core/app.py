@@ -1,0 +1,50 @@
+"""The Athena application base class.
+
+Applications (Figure 5) select off-the-shelf strategies — features,
+detection algorithms, reactions — and drive them through the NB API.  The
+base class handles attachment to a deployment and gives subclasses the
+``self.nb`` handle plus optional lifecycle hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.northbound import AthenaNorthbound
+from repro.errors import AthenaError
+
+
+class AthenaApp:
+    """Base class for applications built on the Athena NB API."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.deployment = None
+        self._attached = False
+
+    @property
+    def nb(self) -> AthenaNorthbound:
+        """The NB API facade (valid once attached)."""
+        if self.deployment is None:
+            raise AthenaError(f"app {self.name!r} is not attached")
+        return self.deployment.northbound
+
+    def attach(self, deployment) -> None:
+        """Called by AthenaDeployment.register_app."""
+        self.deployment = deployment
+        self._attached = True
+        self.on_attach()
+
+    def detach(self) -> None:
+        if self._attached:
+            self.on_detach()
+        self._attached = False
+        self.deployment = None
+
+    # -- hooks for subclasses ------------------------------------------------
+
+    def on_attach(self) -> None:
+        """Override: register handlers, build models."""
+
+    def on_detach(self) -> None:
+        """Override: withdraw handlers and rules."""

@@ -1,0 +1,252 @@
+"""The Detector Manager (Figure 3, component 2B).
+
+Orchestrates detection tasks with transparency to algorithm details: the
+operator describes an :class:`~repro.core.algorithm.Algorithm` and the
+manager auto-configures the pipeline from its category — clustering needs
+marks for cluster labelling, classification/boosting/regression need labels
+for training, 'simple' exports a pre-defined model without a learning phase.
+
+Model generation and large-scale validation execute on the compute cluster
+through an instance's Attack Detector (which decides single vs distributed
+execution by dataset size); results come back as
+:class:`~repro.core.results.ValidationSummary`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.algorithm import Algorithm
+from repro.core.feature_manager import FeatureManager
+from repro.core.preprocessor import Preprocessor
+from repro.core.query import Query
+from repro.core.results import ClusterReport, ValidationSummary
+from repro.errors import AthenaError
+from repro.ml.base import ClusteringModel, Estimator
+
+Document = Dict[str, Any]
+
+
+@dataclass
+class DetectionModel:
+    """A generated detection model: fitted estimator + fitted preprocessor."""
+
+    algorithm: Algorithm
+    estimator: Estimator
+    preprocessor: Preprocessor
+    trained_entries: int = 0
+    training_seconds: float = 0.0
+    job_report: Any = None
+
+    def describe(self) -> str:
+        return str(self.algorithm)
+
+
+@dataclass
+class _OnlineValidator:
+    """One registered online validator (AddOnlineValidator)."""
+
+    validator_id: int
+    model: DetectionModel
+    handler: Callable[[Any, bool], None]
+    validated: int = 0
+    alerts: int = 0
+
+
+class DetectorManager:
+    """ML orchestration over the feature store and compute cluster."""
+
+    def __init__(
+        self,
+        feature_manager: FeatureManager,
+        attack_detector,
+    ) -> None:
+        self.feature_manager = feature_manager
+        self.attack_detector = attack_detector
+        self._online_validators: List[_OnlineValidator] = []
+        self._validator_ids = 0
+        self.models_generated = 0
+        self.validations_run = 0
+
+    # -- model generation ------------------------------------------------------
+
+    def generate_detection_model(
+        self,
+        query: Query,
+        preprocessor: Preprocessor,
+        algorithm: Algorithm,
+        documents: Optional[List[Document]] = None,
+    ) -> DetectionModel:
+        """GenerateDetectionModel(q, f, a).
+
+        ``documents`` short-circuits the feature fetch when the caller
+        already holds the training documents (bench replay path).
+        """
+        started = time.perf_counter()
+        if documents is None:
+            documents = self.feature_manager.request_features(query)
+        if not documents:
+            raise AthenaError("no features matched the training query")
+        matrix, marks, _docs = preprocessor.fit_transform(documents)
+        estimator = algorithm.instantiate()
+        job_report = None
+        if not algorithm.has_learning_phase:
+            # Simple algorithms export a pre-defined model (threshold may
+            # still calibrate a bound when none was configured).
+            estimator.fit(matrix, marks)
+        elif algorithm.needs_labels:
+            if marks is None:
+                raise AthenaError(
+                    f"{algorithm.name} needs labels; configure Marking in the preprocessor"
+                )
+            job_report = self.attack_detector.run_training(
+                estimator, matrix, marks, algorithm
+            )
+        else:
+            job_report = self.attack_detector.run_training(
+                estimator, matrix, None, algorithm
+            )
+            if algorithm.needs_marks:
+                if marks is None:
+                    raise AthenaError(
+                        f"{algorithm.name} needs Marking to label clusters"
+                    )
+                estimator.label_clusters(matrix, marks)
+        self.models_generated += 1
+        return DetectionModel(
+            algorithm=algorithm,
+            estimator=estimator,
+            preprocessor=preprocessor,
+            trained_entries=matrix.shape[0],
+            training_seconds=time.perf_counter() - started,
+            job_report=job_report,
+        )
+
+    # -- batch validation ------------------------------------------------------
+
+    def validate_features(
+        self,
+        query: Query,
+        preprocessor: Preprocessor,
+        model: DetectionModel,
+        documents: Optional[List[Document]] = None,
+    ) -> ValidationSummary:
+        """ValidateFeatures(q, f, m) → testing summary (Figure 6)."""
+        started = time.perf_counter()
+        if documents is None:
+            documents = self.feature_manager.request_features(query)
+        if not documents:
+            raise AthenaError("no features matched the validation query")
+        # The model's *fitted* preprocessor guarantees train/test consistency;
+        # the passed preprocessor contributes marking if the fitted one lacks it.
+        active = model.preprocessor
+        if active.marking is None and preprocessor is not None:
+            active.marking = preprocessor.marking
+        matrix, marks, docs = active.transform(documents)
+        predictions, job_report = self.attack_detector.run_validation(
+            model.estimator, matrix
+        )
+        summary = self._summarise(model, matrix, marks, docs, predictions)
+        summary.elapsed_seconds = time.perf_counter() - started
+        if job_report is not None:
+            summary.elapsed_seconds = max(
+                summary.elapsed_seconds, job_report.makespan_seconds
+            )
+        self.validations_run += 1
+        self.last_job_report = job_report
+        return summary
+
+    def _summarise(
+        self,
+        model: DetectionModel,
+        matrix: np.ndarray,
+        marks: Optional[np.ndarray],
+        docs: List[Document],
+        predictions: np.ndarray,
+    ) -> ValidationSummary:
+        predictions = np.asarray(predictions).ravel()
+        if marks is None:
+            marks = np.zeros(len(predictions))
+        malicious = marks == 1
+        positive = predictions == 1
+        benign_flows: set = set()
+        malicious_flows: set = set()
+        for doc, is_malicious in zip(docs, malicious):
+            key = (
+                doc.get("ip_src"),
+                doc.get("ip_dst"),
+                doc.get("ip_proto"),
+                doc.get("tcp_src"),
+                doc.get("tcp_dst"),
+            )
+            (malicious_flows if is_malicious else benign_flows).add(key)
+        summary = ValidationSummary(
+            total_entries=len(predictions),
+            benign_entries=int((~malicious).sum()),
+            malicious_entries=int(malicious.sum()),
+            true_positives=int((malicious & positive).sum()),
+            false_positives=int((~malicious & positive).sum()),
+            true_negatives=int((~malicious & ~positive).sum()),
+            false_negatives=int((malicious & ~positive).sum()),
+            unique_benign_flows=len(benign_flows),
+            unique_malicious_flows=len(malicious_flows),
+            algorithm_description=model.algorithm.name,
+            predictions=predictions,
+        )
+        estimator = model.estimator
+        if isinstance(estimator, ClusteringModel):
+            params = model.algorithm.params
+            summary.cluster_info = ", ".join(
+                f"{key}({value})" for key, value in sorted(params.items())
+            )
+            composition = estimator.cluster_composition(matrix, marks)
+            labelled = estimator.cluster_is_malicious or {}
+            summary.clusters = [
+                ClusterReport(
+                    cluster_id=cluster_id,
+                    benign_entries=counts["benign"],
+                    malicious_entries=counts["malicious"],
+                    is_malicious=labelled.get(cluster_id, False),
+                )
+                for cluster_id, counts in sorted(composition.items())
+            ]
+        return summary
+
+    # -- online validation -------------------------------------------------------
+
+    def add_online_validator(
+        self,
+        model: DetectionModel,
+        handler: Callable[[Any, bool], None],
+    ) -> int:
+        """Register a model for per-feature live validation."""
+        self._validator_ids += 1
+        self._online_validators.append(
+            _OnlineValidator(self._validator_ids, model, handler)
+        )
+        return self._validator_ids
+
+    def validate_one(self, validator_id: int, feature) -> bool:
+        """Validate one incoming feature against a registered validator."""
+        validator = self._find_validator(validator_id)
+        row = validator.model.preprocessor.transform_one(feature)
+        verdict = bool(validator.model.estimator.predict(row.reshape(1, -1))[0])
+        validator.validated += 1
+        if verdict:
+            validator.alerts += 1
+        validator.handler(feature, verdict)
+        return verdict
+
+    def _find_validator(self, validator_id: int) -> _OnlineValidator:
+        for validator in self._online_validators:
+            if validator.validator_id == validator_id:
+                return validator
+        raise AthenaError(f"no online validator {validator_id}")
+
+    def validator_stats(self, validator_id: int) -> Dict[str, int]:
+        validator = self._find_validator(validator_id)
+        return {"validated": validator.validated, "alerts": validator.alerts}

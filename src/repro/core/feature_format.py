@@ -1,0 +1,135 @@
+"""The Athena feature format (Figure 4).
+
+A feature record consists of *index fields* — the feature's origin (switch
+id, port, OpenFlow match indicators) plus *meta data* (timestamp, controller
+instance, control-plane semantics such as the flow's originating
+application) — followed by *feature fields*: the protocol-centric,
+combination, stateful and variation values themselves.
+
+Records flatten to single-level documents for the distributed database:
+index/meta fields keep lowercase names, feature fields keep their uppercase
+catalog names, so database filters can mix both ("switch_id == 6 &&
+FLOW_PACKET_COUNT > 100").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Optional
+
+from repro.errors import FeatureError
+
+#: Index/meta keys reserved by the format (lowercase namespace).
+INDEX_KEYS = (
+    "feature_scope",
+    "switch_id",
+    "instance_id",
+    "port_no",
+    "timestamp",
+    "app_id",
+    "eth_src",
+    "eth_dst",
+    "ip_src",
+    "ip_dst",
+    "ip_proto",
+    "tcp_src",
+    "tcp_dst",
+    "label",
+)
+
+
+class FeatureScope(Enum):
+    """What entity a feature record describes."""
+
+    FLOW = "flow"
+    PORT = "port"
+    SWITCH = "switch"
+    CONTROL = "control"
+
+
+@dataclass
+class AthenaFeature:
+    """One Athena feature record (a row of the paper's dataset entries)."""
+
+    scope: FeatureScope
+    switch_id: int
+    instance_id: int
+    timestamp: float
+    #: OpenFlow match indicators identifying a flow-scoped record.
+    indicators: Dict[str, Any] = field(default_factory=dict)
+    #: Control-plane semantics: the application that originated the flow.
+    app_id: Optional[str] = None
+    #: Port number for port-scoped records.
+    port_no: Optional[int] = None
+    #: Feature fields: catalog name -> numeric value.
+    fields: Dict[str, float] = field(default_factory=dict)
+    #: Ground-truth label when known (used by Marking in evaluations).
+    label: Optional[int] = None
+
+    def value(self, name: str) -> float:
+        """The value of a feature field, raising on unknown names."""
+        if name not in self.fields:
+            raise FeatureError(
+                f"record has no feature {name!r} (has {sorted(self.fields)[:8]}...)"
+            )
+        return self.fields[name]
+
+    def flow_key(self) -> tuple:
+        """Hashable identity of the flow this record describes."""
+        return (
+            self.switch_id,
+            tuple(sorted(self.indicators.items())),
+        )
+
+    def to_document(self) -> Dict[str, Any]:
+        """Flatten to a single-level document for the database."""
+        doc: Dict[str, Any] = {
+            "feature_scope": self.scope.value,
+            "switch_id": self.switch_id,
+            "instance_id": self.instance_id,
+            "timestamp": self.timestamp,
+        }
+        if self.port_no is not None:
+            doc["port_no"] = self.port_no
+        if self.app_id is not None:
+            doc["app_id"] = self.app_id
+        if self.label is not None:
+            doc["label"] = self.label
+        for key, value in self.indicators.items():
+            doc[key] = value
+        for name, value in self.fields.items():
+            doc[name] = value
+        return doc
+
+    @classmethod
+    def from_document(cls, doc: Dict[str, Any]) -> "AthenaFeature":
+        """Rebuild a record from its flattened document."""
+        indicator_keys = (
+            "eth_src",
+            "eth_dst",
+            "ip_src",
+            "ip_dst",
+            "ip_proto",
+            "tcp_src",
+            "tcp_dst",
+        )
+        indicators = {
+            key: doc[key] for key in indicator_keys if doc.get(key) is not None
+        }
+        fields = {
+            key: value
+            for key, value in doc.items()
+            if key == key.upper() and key != "_ID" and isinstance(value, (int, float))
+        }
+        return cls(
+            scope=FeatureScope(doc["feature_scope"]),
+            switch_id=doc["switch_id"],
+            instance_id=doc.get("instance_id", 0),
+            timestamp=doc.get("timestamp", 0.0),
+            indicators=indicators,
+            app_id=doc.get("app_id"),
+            port_no=doc.get("port_no"),
+            fields=fields,
+            label=doc.get("label"),
+        )

@@ -1,0 +1,118 @@
+"""The Feature Management Manager (Figure 3, component 2A).
+
+The unified mechanism applications use to retrieve and receive features:
+
+* :meth:`FeatureManager.publish` — the southbound elements push every
+  generated feature here; it is stored in the distributed database (unless
+  storage is disabled, the Table IX "no DB" ablation) and matched against
+  the *event delivery table*;
+* :meth:`FeatureManager.request_features` — translates an Athena query into
+  database queries (filters or aggregation pipelines) and returns documents;
+* the event delivery table — registered (query, handler) pairs evaluated
+  against every live feature, feeding applications and online validators.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.feature_format import AthenaFeature
+from repro.core.query import Query
+from repro.distdb import DatabaseCluster
+from repro.errors import AthenaError
+
+FeatureHandler = Callable[[AthenaFeature], None]
+
+#: Collection holding every published feature document.
+FEATURE_COLLECTION = "athena_features"
+
+
+@dataclass
+class _DeliveryEntry:
+    """One row of the event delivery table."""
+
+    entry_id: int
+    query: Query
+    handler: FeatureHandler
+    delivered: int = 0
+
+
+class FeatureManager:
+    """Unified feature retrieval and live delivery."""
+
+    def __init__(
+        self,
+        database: DatabaseCluster,
+        store_features: bool = True,
+    ) -> None:
+        self.database = database
+        self.store_features = store_features
+        self._delivery_table: List[_DeliveryEntry] = []
+        self._entry_ids = itertools.count(1)
+        self.features_published = 0
+        self.features_delivered = 0
+        self.database.create_index(FEATURE_COLLECTION, "switch_id")
+        self.database.create_index(FEATURE_COLLECTION, "feature_scope")
+        self.database.create_index(FEATURE_COLLECTION, "ip_src")
+
+    # -- southbound-facing ---------------------------------------------------
+
+    def publish(self, feature: AthenaFeature) -> None:
+        """Store a feature and deliver it to matching handlers."""
+        self.features_published += 1
+        doc = feature.to_document()
+        if self.store_features:
+            self.database.insert_one(FEATURE_COLLECTION, doc)
+        for entry in self._delivery_table:
+            if entry.query.matches(doc):
+                entry.delivered += 1
+                self.features_delivered += 1
+                entry.handler(feature)
+
+    def publish_documents(self, docs: List[Dict[str, Any]]) -> int:
+        """Bulk-load pre-built feature documents (dataset replay path)."""
+        if self.store_features:
+            self.database.insert_many(FEATURE_COLLECTION, [dict(d) for d in docs])
+        return len(docs)
+
+    # -- application-facing ------------------------------------------------------
+
+    def request_features(self, query: Query) -> List[Dict[str, Any]]:
+        """Retrieve stored features satisfying ``query`` (RequestFeatures)."""
+        pipeline = query.to_db_pipeline()
+        if pipeline is not None:
+            return self.database.aggregate(FEATURE_COLLECTION, pipeline)
+        return self.database.find(
+            FEATURE_COLLECTION,
+            filter_=query.to_db_filter() or None,
+            sort=query.sort_spec or None,
+            limit=query.limit_value,
+        )
+
+    def count_features(self, query: Optional[Query] = None) -> int:
+        filter_ = query.to_db_filter() if query is not None else None
+        return self.database.count(FEATURE_COLLECTION, filter_ or None)
+
+    def add_event_handler(self, query: Query, handler: FeatureHandler) -> int:
+        """Register a delivery-table entry; returns its id (AddEventHandler)."""
+        if handler is None:
+            raise AthenaError("event handler must be callable")
+        entry = _DeliveryEntry(next(self._entry_ids), query, handler)
+        self._delivery_table.append(entry)
+        return entry.entry_id
+
+    def remove_event_handler(self, entry_id: int) -> bool:
+        before = len(self._delivery_table)
+        self._delivery_table = [
+            e for e in self._delivery_table if e.entry_id != entry_id
+        ]
+        return len(self._delivery_table) < before
+
+    def delivery_table_size(self) -> int:
+        return len(self._delivery_table)
+
+    def clear_features(self) -> int:
+        """Drop every stored feature (test and bench housekeeping)."""
+        return self.database.delete_many(FEATURE_COLLECTION, None)

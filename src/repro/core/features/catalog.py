@@ -1,0 +1,171 @@
+"""The feature catalog.
+
+Every feature Athena can generate is declared here with its Table I
+category, its scope (flow / port / switch / control-plane) and a short
+description.  Variation features are derived systematically: every numeric
+base feature marked ``varies`` gains a ``*_VAR`` sibling holding the delta
+since the previous sample of the same entity — the paper's ``Variation``
+field.  The full catalog comfortably exceeds the paper's "over 100 network
+monitoring features".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List
+
+from repro.core.feature_format import FeatureScope
+from repro.errors import FeatureError
+
+
+class FeatureCategory(Enum):
+    """Table I feature types."""
+
+    PROTOCOL = "protocol-centric"
+    COMBINATION = "combination"
+    STATEFUL = "stateful"
+    VARIATION = "variation"
+
+
+@dataclass(frozen=True)
+class FeatureDef:
+    """Declaration of one catalog feature."""
+
+    name: str
+    category: FeatureCategory
+    scope: FeatureScope
+    description: str
+    varies: bool = False  # whether a *_VAR sibling is generated
+
+
+def _build_catalog() -> Dict[str, FeatureDef]:
+    P, C, S = FeatureCategory.PROTOCOL, FeatureCategory.COMBINATION, FeatureCategory.STATEFUL
+    FLOW, PORT, SWITCH, CTRL = (
+        FeatureScope.FLOW,
+        FeatureScope.PORT,
+        FeatureScope.SWITCH,
+        FeatureScope.CONTROL,
+    )
+    base: List[FeatureDef] = [
+        # -- protocol-centric, flow scope (from FLOW stats / FLOW_REMOVED) --
+        FeatureDef("FLOW_PACKET_COUNT", P, FLOW, "packets matched by the flow entry", True),
+        FeatureDef("FLOW_BYTE_COUNT", P, FLOW, "bytes matched by the flow entry", True),
+        FeatureDef("FLOW_DURATION_SEC", P, FLOW, "seconds since flow installation", True),
+        FeatureDef("FLOW_DURATION_N_SEC", P, FLOW, "nanosecond remainder of the duration"),
+        FeatureDef("FLOW_PRIORITY", P, FLOW, "flow entry priority"),
+        FeatureDef("FLOW_IDLE_TIMEOUT", P, FLOW, "idle (soft) timeout of the entry"),
+        FeatureDef("FLOW_HARD_TIMEOUT", P, FLOW, "hard timeout of the entry"),
+        FeatureDef("FLOW_TABLE_ID", P, FLOW, "table hosting the entry"),
+        # -- protocol-centric, port scope (from PORT stats) --
+        FeatureDef("PORT_RX_PACKETS", P, PORT, "packets received on the port", True),
+        FeatureDef("PORT_TX_PACKETS", P, PORT, "packets transmitted on the port", True),
+        FeatureDef("PORT_RX_BYTES", P, PORT, "bytes received on the port", True),
+        FeatureDef("PORT_TX_BYTES", P, PORT, "bytes transmitted on the port", True),
+        FeatureDef("PORT_RX_DROPPED", P, PORT, "packets dropped on receive", True),
+        FeatureDef("PORT_TX_DROPPED", P, PORT, "packets dropped on transmit", True),
+        FeatureDef("PORT_RX_ERRORS", P, PORT, "receive errors", True),
+        FeatureDef("PORT_TX_ERRORS", P, PORT, "transmit errors", True),
+        # -- protocol-centric, switch scope (aggregate / table stats) --
+        FeatureDef("AGG_PACKET_COUNT", P, SWITCH, "aggregate packets over all flows", True),
+        FeatureDef("AGG_BYTE_COUNT", P, SWITCH, "aggregate bytes over all flows", True),
+        FeatureDef("AGG_FLOW_COUNT", P, SWITCH, "number of installed flows", True),
+        FeatureDef("TABLE_ACTIVE_COUNT", P, SWITCH, "active entries in the flow table", True),
+        FeatureDef("TABLE_LOOKUP_COUNT", P, SWITCH, "table lookups performed", True),
+        FeatureDef("TABLE_MATCHED_COUNT", P, SWITCH, "table lookups that matched", True),
+        # -- protocol-centric, control-plane message counters --
+        FeatureDef("PACKET_IN_COUNT", P, CTRL, "PACKET_IN messages from the switch", True),
+        FeatureDef("PACKET_OUT_COUNT", P, CTRL, "PACKET_OUT messages to the switch", True),
+        FeatureDef("FLOW_MOD_COUNT", P, CTRL, "FLOW_MOD messages to the switch", True),
+        FeatureDef("FLOW_REMOVED_COUNT", P, CTRL, "FLOW_REMOVED notifications", True),
+        FeatureDef("PORT_STATUS_COUNT", P, CTRL, "PORT_STATUS notifications", True),
+        FeatureDef("STATS_REQUEST_COUNT", P, CTRL, "statistics requests issued", True),
+        FeatureDef("STATS_REPLY_COUNT", P, CTRL, "statistics replies received", True),
+        FeatureDef("ECHO_COUNT", P, CTRL, "echo request/replies exchanged", True),
+        FeatureDef("BARRIER_COUNT", P, CTRL, "barrier request/replies exchanged", True),
+        FeatureDef("CONTROL_MSG_TOTAL", P, CTRL, "all control messages exchanged", True),
+        FeatureDef("CONTROL_MSG_BYTES", P, CTRL, "wire bytes of control messages", True),
+        # -- combination, flow scope --
+        FeatureDef("FLOW_BYTE_PER_PACKET", C, FLOW, "byte count / packet count"),
+        FeatureDef("FLOW_PACKET_PER_DURATION", C, FLOW, "packet count / duration", True),
+        FeatureDef("FLOW_BYTE_PER_DURATION", C, FLOW, "byte count / duration", True),
+        FeatureDef("FLOW_UTILIZATION", C, FLOW, "flow byte rate / output port speed", True),
+        FeatureDef("FLOW_LIFETIME_RATIO", C, FLOW, "duration / hard timeout (0 if none)"),
+        FeatureDef("FLOW_IDLE_RATIO", C, FLOW, "idle timeout / duration (0 if none)"),
+        # -- combination, port scope --
+        FeatureDef("PORT_RX_BYTE_PER_PACKET", C, PORT, "rx bytes / rx packets"),
+        FeatureDef("PORT_TX_BYTE_PER_PACKET", C, PORT, "tx bytes / tx packets"),
+        FeatureDef("PORT_UTILIZATION", C, PORT, "port byte rate / port speed", True),
+        FeatureDef("PORT_DROP_RATIO", C, PORT, "drops / (drops + delivered)"),
+        FeatureDef("PORT_ERROR_RATIO", C, PORT, "errors / packets handled"),
+        FeatureDef("PORT_RX_TX_RATIO", C, PORT, "rx packets / tx packets"),
+        # -- combination, switch scope --
+        FeatureDef("TABLE_UTILIZATION", C, SWITCH, "active entries / table capacity", True),
+        FeatureDef("TABLE_HIT_RATIO", C, SWITCH, "matched lookups / lookups"),
+        FeatureDef("AGG_BYTE_PER_FLOW", C, SWITCH, "aggregate bytes / flow count"),
+        FeatureDef("AGG_PACKET_PER_FLOW", C, SWITCH, "aggregate packets / flow count"),
+        # -- combination, control scope --
+        FeatureDef("PACKET_IN_RATE", C, CTRL, "PACKET_INs per second since last sample", True),
+        FeatureDef("FLOW_MOD_RATE", C, CTRL, "FLOW_MODs per second since last sample", True),
+        FeatureDef("CONTROL_MSG_RATE", C, CTRL, "control messages per second", True),
+        # -- stateful, flow scope --
+        FeatureDef("PAIR_FLOW", S, FLOW, "1 if the reverse-direction flow is live"),
+        FeatureDef("FLOW_IS_NEW", S, FLOW, "1 on the first sample of this flow"),
+        FeatureDef("FLOW_SAMPLE_COUNT", S, FLOW, "samples taken of this flow so far"),
+        FeatureDef("SRC_FLOW_FANOUT", S, FLOW, "live flows sharing this source", True),
+        FeatureDef("DST_FLOW_FANIN", S, FLOW, "live flows sharing this destination", True),
+        # -- stateful, switch scope --
+        FeatureDef("PAIR_FLOW_RATIO", S, SWITCH, "paired flows / total flows", True),
+        FeatureDef("SINGLE_FLOW_RATIO", S, SWITCH, "unpaired flows / total flows", True),
+        FeatureDef("TOTAL_TRACKED_FLOWS", S, SWITCH, "flows in the state tables", True),
+        FeatureDef("UNIQUE_SRC_COUNT", S, SWITCH, "distinct sources across live flows", True),
+        FeatureDef("UNIQUE_DST_COUNT", S, SWITCH, "distinct destinations across live flows", True),
+        FeatureDef("FLOWS_PER_SRC", S, SWITCH, "mean live flows per source", True),
+        FeatureDef("FLOWS_PER_DST", S, SWITCH, "mean live flows per destination", True),
+        FeatureDef("NEW_FLOW_RATE", S, SWITCH, "new flows per second since last sample", True),
+        FeatureDef("EXPIRED_FLOW_RATE", S, SWITCH, "expirations per second since last sample", True),
+        FeatureDef("MEDIAN_FLOW_PACKETS", S, SWITCH, "median packet count over live flows"),
+        FeatureDef("GROWTH_SINGLE_FLOWS", S, SWITCH, "growth of unpaired flows", True),
+    ]
+    catalog: Dict[str, FeatureDef] = {}
+    for definition in base:
+        catalog[definition.name] = definition
+        if definition.varies:
+            var_name = definition.name + "_VAR"
+            catalog[var_name] = FeatureDef(
+                name=var_name,
+                category=FeatureCategory.VARIATION,
+                scope=definition.scope,
+                description=f"delta of {definition.name} since the previous sample",
+            )
+    return catalog
+
+
+#: name -> FeatureDef for every feature Athena can generate.
+FEATURE_CATALOG: Dict[str, FeatureDef] = _build_catalog()
+
+
+def feature_names() -> List[str]:
+    """All catalog feature names, sorted."""
+    return sorted(FEATURE_CATALOG)
+
+
+def is_known_feature(name: str) -> bool:
+    return name in FEATURE_CATALOG
+
+
+def require_known(name: str) -> FeatureDef:
+    definition = FEATURE_CATALOG.get(name)
+    if definition is None:
+        raise FeatureError(f"unknown Athena feature {name!r}")
+    return definition
+
+
+def features_by_category(category: FeatureCategory) -> List[str]:
+    return sorted(
+        name for name, d in FEATURE_CATALOG.items() if d.category == category
+    )
+
+
+def features_by_scope(scope: FeatureScope) -> List[str]:
+    return sorted(name for name, d in FEATURE_CATALOG.items() if d.scope == scope)

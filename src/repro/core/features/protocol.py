@@ -1,0 +1,109 @@
+"""Protocol-centric extractors.
+
+These functions copy values straight out of OpenFlow structures — no state,
+no formulas — producing the Table I *protocol-centric* fields.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.openflow.messages import (
+    FlowRemoved,
+    FlowStatsEntry,
+    PortStatsEntry,
+    TableStatsEntry,
+)
+
+
+def flow_fields(entry: FlowStatsEntry) -> Dict[str, float]:
+    """Protocol features of one flow-stats entry."""
+    duration = float(entry.duration_sec)
+    return {
+        "FLOW_PACKET_COUNT": float(entry.packet_count),
+        "FLOW_BYTE_COUNT": float(entry.byte_count),
+        "FLOW_DURATION_SEC": float(int(duration)),
+        "FLOW_DURATION_N_SEC": (duration - int(duration)) * 1e9,
+        "FLOW_PRIORITY": float(entry.priority),
+        "FLOW_IDLE_TIMEOUT": float(entry.idle_timeout),
+        "FLOW_HARD_TIMEOUT": float(entry.hard_timeout),
+        "FLOW_TABLE_ID": float(entry.table_id),
+    }
+
+
+def removed_flow_fields(msg: FlowRemoved) -> Dict[str, float]:
+    """Protocol features carried by a FLOW_REMOVED notification."""
+    duration = float(msg.duration_sec)
+    return {
+        "FLOW_PACKET_COUNT": float(msg.packet_count),
+        "FLOW_BYTE_COUNT": float(msg.byte_count),
+        "FLOW_DURATION_SEC": float(int(duration)),
+        "FLOW_DURATION_N_SEC": (duration - int(duration)) * 1e9,
+        "FLOW_PRIORITY": float(msg.priority),
+        "FLOW_IDLE_TIMEOUT": 0.0,
+        "FLOW_HARD_TIMEOUT": 0.0,
+        "FLOW_TABLE_ID": 0.0,
+    }
+
+
+def port_fields(entry: PortStatsEntry) -> Dict[str, float]:
+    """Protocol features of one port-stats entry."""
+    return {
+        "PORT_RX_PACKETS": float(entry.rx_packets),
+        "PORT_TX_PACKETS": float(entry.tx_packets),
+        "PORT_RX_BYTES": float(entry.rx_bytes),
+        "PORT_TX_BYTES": float(entry.tx_bytes),
+        "PORT_RX_DROPPED": float(entry.rx_dropped),
+        "PORT_TX_DROPPED": float(entry.tx_dropped),
+        "PORT_RX_ERRORS": float(entry.rx_errors),
+        "PORT_TX_ERRORS": float(entry.tx_errors),
+    }
+
+
+def table_fields(entry: TableStatsEntry) -> Dict[str, float]:
+    """Protocol features of one table-stats entry."""
+    return {
+        "TABLE_ACTIVE_COUNT": float(entry.active_count),
+        "TABLE_LOOKUP_COUNT": float(entry.lookup_count),
+        "TABLE_MATCHED_COUNT": float(entry.matched_count),
+    }
+
+
+def aggregate_fields(packet_count: int, byte_count: int, flow_count: int) -> Dict[str, float]:
+    """Protocol features of an aggregate-stats reply."""
+    return {
+        "AGG_PACKET_COUNT": float(packet_count),
+        "AGG_BYTE_COUNT": float(byte_count),
+        "AGG_FLOW_COUNT": float(flow_count),
+    }
+
+
+def control_counter_fields(counters: Dict[str, int]) -> Dict[str, float]:
+    """Protocol features from the per-switch control-message counters."""
+    total = sum(
+        counters.get(key, 0)
+        for key in (
+            "packet_in",
+            "packet_out",
+            "flow_mod",
+            "flow_removed",
+            "port_status",
+            "stats_request",
+            "stats_reply",
+            "echo",
+            "barrier",
+        )
+    )
+    return {
+        "PACKET_IN_COUNT": float(counters.get("packet_in", 0)),
+        "PACKET_OUT_COUNT": float(counters.get("packet_out", 0)),
+        "FLOW_MOD_COUNT": float(counters.get("flow_mod", 0)),
+        "FLOW_REMOVED_COUNT": float(counters.get("flow_removed", 0)),
+        "PORT_STATUS_COUNT": float(counters.get("port_status", 0)),
+        "STATS_REQUEST_COUNT": float(counters.get("stats_request", 0)),
+        "STATS_REPLY_COUNT": float(counters.get("stats_reply", 0)),
+        "ECHO_COUNT": float(counters.get("echo", 0)),
+        "BARRIER_COUNT": float(counters.get("barrier", 0)),
+        "CONTROL_MSG_TOTAL": float(total),
+        "CONTROL_MSG_BYTES": float(counters.get("bytes", 0)),
+    }

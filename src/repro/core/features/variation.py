@@ -1,0 +1,74 @@
+"""Variation tracking.
+
+The Feature Generator "maintains hash tables to track the status of the
+previous features for generating Variation".  :class:`VariationTracker`
+keeps, per entity (a flow on a switch, a port, a switch, a control channel),
+the previous sample's numeric fields and emits ``<NAME>_VAR`` deltas on the
+next sample.  Entities not refreshed within the GC horizon are evicted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Tuple
+
+from repro.core.features.catalog import FEATURE_CATALOG
+
+
+#: Which base features produce a *_VAR sibling (precomputed from the catalog).
+_VARYING = frozenset(
+    name for name, definition in FEATURE_CATALOG.items() if definition.varies
+)
+
+
+class VariationTracker:
+    """Previous-sample hash table with delta computation."""
+
+    def __init__(self, stale_after: float = 120.0) -> None:
+        self.stale_after = stale_after
+        self._previous: Dict[Hashable, Tuple[float, Dict[str, float]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._previous)
+
+    def diff(
+        self, entity: Hashable, fields: Dict[str, float], now: float
+    ) -> Dict[str, float]:
+        """Return ``*_VAR`` deltas vs the previous sample and remember this one.
+
+        The first sample of an entity produces deltas equal to the values
+        themselves (variation from an implicit zero baseline), which matches
+        counters that start at zero on flow installation.
+        """
+        stamped = self._previous.get(entity)
+        previous = stamped[1] if stamped else {}
+        variations: Dict[str, float] = {}
+        for name, value in fields.items():
+            if name in _VARYING:
+                variations[name + "_VAR"] = value - previous.get(name, 0.0)
+        self._previous[entity] = (
+            now,
+            {name: value for name, value in fields.items() if name in _VARYING},
+        )
+        return variations
+
+    def previous_fields(self, entity: Hashable) -> Dict[str, float]:
+        stamped = self._previous.get(entity)
+        return dict(stamped[1]) if stamped else {}
+
+    def last_sample_time(self, entity: Hashable):
+        stamped = self._previous.get(entity)
+        return stamped[0] if stamped else None
+
+    def forget(self, entity: Hashable) -> None:
+        self._previous.pop(entity, None)
+
+    def collect_garbage(self, now: float) -> int:
+        """Evict entities not sampled within ``stale_after`` seconds."""
+        stale = [
+            entity
+            for entity, (stamp, _) in self._previous.items()
+            if now - stamp > self.stale_after
+        ]
+        for entity in stale:
+            del self._previous[entity]
+        return len(stale)

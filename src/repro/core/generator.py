@@ -1,0 +1,401 @@
+"""The Feature Generator (Figure 3, component 1B).
+
+Consumes the control messages and events of one controller instance and
+produces :class:`~repro.core.feature_format.AthenaFeature` records:
+
+* FLOW stats replies → flow-scoped records (protocol + combination +
+  stateful + variation fields), with the originating application attached
+  from the FlowRule subsystem (flow-origin meta data);
+* PORT stats replies → port-scoped records;
+* TABLE/AGGREGATE stats replies → switch-scoped records;
+* FLOW_REMOVED → final flow records and state-table eviction;
+* the message tap → per-switch control-plane counters that become
+  control-scoped records each sampling round.
+
+Fidelity controls (which scopes, categories, and switches are monitored)
+are mutated by the Resource Manager; the garbage collector periodically
+drops stale hash-table entries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set
+
+from repro.controller.events import (
+    FlowRemovedEvent,
+    MessageDirection,
+    PacketInEvent,
+    StatsEvent,
+)
+from repro.core.feature_format import AthenaFeature, FeatureScope
+from repro.core.features import combination, protocol
+from repro.core.features.catalog import FeatureCategory
+from repro.core.features.stateful import FlowStateTable
+from repro.core.features.variation import VariationTracker
+from repro.openflow.messages import (
+    AggregateStatsReply,
+    FlowStatsReply,
+    OpenFlowMessage,
+    PortStatsReply,
+    TableStatsReply,
+)
+
+FeatureSink = Callable[[AthenaFeature], None]
+
+#: Indicator keys copied from a flow match into record index fields.
+_INDICATOR_KEYS = (
+    "eth_src",
+    "eth_dst",
+    "ip_src",
+    "ip_dst",
+    "ip_proto",
+    "tcp_src",
+    "tcp_dst",
+)
+
+_TAP_COUNTER_KEYS = {
+    "PACKET_IN": "packet_in",
+    "PACKET_OUT": "packet_out",
+    "FLOW_MOD": "flow_mod",
+    "FLOW_REMOVED": "flow_removed",
+    "PORT_STATUS": "port_status",
+    "STATS_REQUEST": "stats_request",
+    "STATS_REPLY": "stats_reply",
+    "ECHO_REQUEST": "echo",
+    "ECHO_REPLY": "echo",
+    "BARRIER_REQUEST": "barrier",
+    "BARRIER_REPLY": "barrier",
+}
+
+
+class FeatureGenerator:
+    """Feature extraction state machine for one Athena instance."""
+
+    def __init__(
+        self,
+        instance_id: int,
+        sink: Optional[FeatureSink] = None,
+        flow_rule_lookup: Optional[Callable] = None,
+        port_speed_lookup: Optional[Callable[[int, int], float]] = None,
+        stale_after: float = 60.0,
+    ) -> None:
+        self.instance_id = instance_id
+        self.sink = sink
+        self._flow_rule_lookup = flow_rule_lookup
+        self._port_speed_lookup = port_speed_lookup
+        self.flow_state = FlowStateTable(stale_after=stale_after)
+        self.variation = VariationTracker(stale_after=2 * stale_after)
+        self._control_counters: Dict[int, Dict[str, int]] = {}
+        self._last_table_fields: Dict[int, Dict[str, float]] = {}
+        self._last_agg_fields: Dict[int, Dict[str, float]] = {}
+        # Fidelity controls (driven by the Resource Manager).
+        self.enabled_scopes: Set[FeatureScope] = set(FeatureScope)
+        self.enabled_categories: Set[FeatureCategory] = set(FeatureCategory)
+        self.monitored_switches: Optional[Set[int]] = None  # None == all
+        self.features_generated = 0
+        self.records_suppressed = 0
+
+    # -- configuration ------------------------------------------------------
+
+    def _monitoring(self, dpid: int, scope: FeatureScope) -> bool:
+        if scope not in self.enabled_scopes:
+            return False
+        if self.monitored_switches is not None and dpid not in self.monitored_switches:
+            return False
+        return True
+
+    def _emit(self, record: AthenaFeature) -> None:
+        self.features_generated += 1
+        if self.sink is not None:
+            self.sink(record)
+
+    def _filter_categories(self, fields: Dict[str, float]) -> Dict[str, float]:
+        if self.enabled_categories == set(FeatureCategory):
+            return fields
+        from repro.core.features.catalog import FEATURE_CATALOG
+
+        kept = {}
+        for name, value in fields.items():
+            definition = FEATURE_CATALOG.get(name)
+            if definition is None or definition.category in self.enabled_categories:
+                kept[name] = value
+            else:
+                self.records_suppressed += 1
+        return kept
+
+    # -- event entry points -----------------------------------------------------
+
+    def on_stats_event(self, event: StatsEvent) -> None:
+        """Handle a statistics reply from the local controller."""
+        message = event.message
+        if isinstance(message, FlowStatsReply):
+            self._on_flow_stats(event.dpid, message, event.time)
+        elif isinstance(message, PortStatsReply):
+            self._on_port_stats(event.dpid, message, event.time)
+        elif isinstance(message, TableStatsReply):
+            self._on_table_stats(event.dpid, message, event.time)
+        elif isinstance(message, AggregateStatsReply):
+            self._on_aggregate_stats(event.dpid, message, event.time)
+
+    def on_packet_in(self, event: PacketInEvent) -> None:
+        """Derive a flow record from a PACKET_IN (a new-flow observation).
+
+        This is the per-event extraction path the Cbench experiment
+        stresses: every punted packet updates the stateful tables and emits
+        a record (which the deployment then publishes to the database).
+        """
+        dpid = event.dpid
+        if not self._monitoring(dpid, FeatureScope.FLOW):
+            return
+        indicators = self._indicators(event.message.headers)
+        fields = self.flow_state.observe_flow(dpid, indicators, event.time)
+        fields["FLOW_PACKET_COUNT"] = 0.0
+        fields["FLOW_BYTE_COUNT"] = float(event.message.total_len)
+        self._emit(
+            AthenaFeature(
+                scope=FeatureScope.FLOW,
+                switch_id=dpid,
+                instance_id=self.instance_id,
+                timestamp=event.time,
+                indicators=indicators,
+                fields=self._filter_categories(fields),
+            )
+        )
+
+    def on_flow_removed(self, event: FlowRemovedEvent) -> None:
+        """Final sample of an evicted flow, then forget its state."""
+        dpid = event.dpid
+        if not self._monitoring(dpid, FeatureScope.FLOW):
+            return
+        indicators = self._indicators(event.message.match.to_dict())
+        fields = protocol.removed_flow_fields(event.message)
+        fields.update(combination.flow_fields(fields))
+        fields.update(
+            self.flow_state.observe_flow(
+                dpid, indicators, event.time, fields.get("FLOW_PACKET_COUNT", 0.0)
+            )
+        )
+        entity = (
+            dpid,
+            "flow",
+            tuple(sorted(indicators.items())),
+            event.message.priority,
+            event.message.cookie,
+        )
+        fields.update(self.variation.diff(entity, fields, event.time))
+        self.flow_state.remove_flow(dpid, indicators)
+        self.variation.forget(entity)
+        self._emit(
+            AthenaFeature(
+                scope=FeatureScope.FLOW,
+                switch_id=dpid,
+                instance_id=self.instance_id,
+                timestamp=event.time,
+                indicators=indicators,
+                app_id=event.message.app_id,
+                fields=self._filter_categories(fields),
+            )
+        )
+
+    def on_message_tap(
+        self, msg: OpenFlowMessage, direction: MessageDirection, instance_id: int
+    ) -> None:
+        """Count every control message crossing the instance."""
+        counters = self._control_counters.setdefault(
+            msg.dpid, {"bytes": 0}
+        )
+        key = _TAP_COUNTER_KEYS.get(msg.msg_type.name)
+        if key is not None:
+            counters[key] = counters.get(key, 0) + 1
+        counters["bytes"] += msg.size_bytes()
+
+    # -- per-message-type handlers ---------------------------------------------------
+
+    @staticmethod
+    def _indicators(match_dict: Dict) -> Dict:
+        return {k: v for k, v in match_dict.items() if k in _INDICATOR_KEYS}
+
+    def _on_flow_stats(self, dpid: int, reply: FlowStatsReply, now: float) -> None:
+        if not self._monitoring(dpid, FeatureScope.FLOW):
+            return
+        for entry in reply.entries:
+            indicators = self._indicators(entry.match.to_dict())
+            fields = protocol.flow_fields(entry)
+            port_speed = None
+            if self._port_speed_lookup is not None:
+                port_speed = self._port_speed_lookup(dpid, -1)
+            fields.update(combination.flow_fields(fields, port_speed))
+            fields.update(
+                self.flow_state.observe_flow(
+                    dpid, indicators, now, fields["FLOW_PACKET_COUNT"]
+                )
+            )
+            # The entity is the *rule* (priority + cookie), not just the
+            # match: distinct rules covering the same headers must not share
+            # a variation baseline, and a reinstalled rule (fresh cookie)
+            # restarts from zero rather than producing a negative delta.
+            entity = (
+                dpid,
+                "flow",
+                tuple(sorted(indicators.items())),
+                entry.priority,
+                entry.cookie,
+            )
+            fields.update(self.variation.diff(entity, fields, now))
+            app_id = entry.app_id
+            if app_id is None and self._flow_rule_lookup is not None:
+                app_id = self._flow_rule_lookup(dpid, entry.match)
+            self._emit(
+                AthenaFeature(
+                    scope=FeatureScope.FLOW,
+                    switch_id=dpid,
+                    instance_id=self.instance_id,
+                    timestamp=now,
+                    indicators=indicators,
+                    app_id=app_id,
+                    fields=self._filter_categories(fields),
+                )
+            )
+        # One switch-scope stateful record per flow-stats round.
+        if self._monitoring(dpid, FeatureScope.SWITCH):
+            switch_fields = self.flow_state.switch_fields(dpid, now)
+            entity = (dpid, "switch-state")
+            switch_fields.update(self.variation.diff(entity, switch_fields, now))
+            self._emit(
+                AthenaFeature(
+                    scope=FeatureScope.SWITCH,
+                    switch_id=dpid,
+                    instance_id=self.instance_id,
+                    timestamp=now,
+                    fields=self._filter_categories(switch_fields),
+                )
+            )
+        # Control-plane record: counters accumulated since the last round.
+        self._emit_control_record(dpid, now)
+
+    def _on_port_stats(self, dpid: int, reply: PortStatsReply, now: float) -> None:
+        if not self._monitoring(dpid, FeatureScope.PORT):
+            return
+        for entry in reply.entries:
+            fields = protocol.port_fields(entry)
+            entity = (dpid, "port", entry.port_no)
+            previous = self.variation.previous_fields(entity)
+            last_time = self.variation.last_sample_time(entity)
+            delta_seconds = now - last_time if last_time is not None else None
+            delta_bytes = None
+            if previous:
+                delta_bytes = (
+                    fields["PORT_RX_BYTES"]
+                    + fields["PORT_TX_BYTES"]
+                    - previous.get("PORT_RX_BYTES", 0.0)
+                    - previous.get("PORT_TX_BYTES", 0.0)
+                )
+            speed = None
+            if self._port_speed_lookup is not None:
+                speed = self._port_speed_lookup(dpid, entry.port_no)
+            fields.update(
+                combination.port_fields(fields, speed, delta_seconds, delta_bytes)
+            )
+            fields.update(self.variation.diff(entity, fields, now))
+            self._emit(
+                AthenaFeature(
+                    scope=FeatureScope.PORT,
+                    switch_id=dpid,
+                    instance_id=self.instance_id,
+                    timestamp=now,
+                    port_no=entry.port_no,
+                    fields=self._filter_categories(fields),
+                )
+            )
+
+    def _on_table_stats(self, dpid: int, reply: TableStatsReply, now: float) -> None:
+        if not self._monitoring(dpid, FeatureScope.SWITCH):
+            return
+        for entry in reply.entries:
+            fields = protocol.table_fields(entry)
+            self._last_table_fields[dpid] = fields
+            merged = dict(fields)
+            merged.update(
+                combination.switch_fields(
+                    fields,
+                    self._last_agg_fields.get(dpid, {}),
+                    table_capacity=float(entry.max_entries),
+                )
+            )
+            entity = (dpid, "table", entry.table_id)
+            merged.update(self.variation.diff(entity, merged, now))
+            self._emit(
+                AthenaFeature(
+                    scope=FeatureScope.SWITCH,
+                    switch_id=dpid,
+                    instance_id=self.instance_id,
+                    timestamp=now,
+                    fields=self._filter_categories(merged),
+                )
+            )
+
+    def _on_aggregate_stats(
+        self, dpid: int, reply: AggregateStatsReply, now: float
+    ) -> None:
+        if not self._monitoring(dpid, FeatureScope.SWITCH):
+            return
+        fields = protocol.aggregate_fields(
+            reply.packet_count, reply.byte_count, reply.flow_count
+        )
+        self._last_agg_fields[dpid] = fields
+        merged = dict(fields)
+        merged.update(
+            combination.switch_fields(self._last_table_fields.get(dpid, {}), fields)
+        )
+        entity = (dpid, "aggregate")
+        merged.update(self.variation.diff(entity, merged, now))
+        self._emit(
+            AthenaFeature(
+                scope=FeatureScope.SWITCH,
+                switch_id=dpid,
+                instance_id=self.instance_id,
+                timestamp=now,
+                fields=self._filter_categories(merged),
+            )
+        )
+
+    def _emit_control_record(self, dpid: int, now: float) -> None:
+        if not self._monitoring(dpid, FeatureScope.CONTROL):
+            return
+        counters = self._control_counters.get(dpid)
+        if not counters:
+            return
+        fields = protocol.control_counter_fields(counters)
+        entity = (dpid, "control")
+        previous = self.variation.previous_fields(entity)
+        last_time = self.variation.last_sample_time(entity)
+        variations = self.variation.diff(entity, fields, now)
+        fields.update(variations)
+        delta_seconds = now - last_time if last_time is not None else None
+        fields.update(
+            combination.control_fields(
+                {
+                    "PACKET_IN_COUNT_DELTA": fields.get("PACKET_IN_COUNT_VAR", 0.0),
+                    "FLOW_MOD_COUNT_DELTA": fields.get("FLOW_MOD_COUNT_VAR", 0.0),
+                    "CONTROL_MSG_TOTAL_DELTA": fields.get("CONTROL_MSG_TOTAL_VAR", 0.0),
+                },
+                delta_seconds,
+            )
+        )
+        self._emit(
+            AthenaFeature(
+                scope=FeatureScope.CONTROL,
+                switch_id=dpid,
+                instance_id=self.instance_id,
+                timestamp=now,
+                fields=self._filter_categories(fields),
+            )
+        )
+
+    # -- housekeeping ---------------------------------------------------------------
+
+    def collect_garbage(self, now: float) -> int:
+        """Evict stale entries from every hash table; returns eviction count."""
+        return self.flow_state.collect_garbage(now) + self.variation.collect_garbage(
+            now
+        )

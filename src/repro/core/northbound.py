@@ -1,0 +1,159 @@
+"""The Athena Northbound API (Table II).
+
+:class:`AthenaNorthbound` is the configuration-based facade applications
+program against.  The eight core functions are exposed both in Python
+style (``request_features``) and under the paper's exact names
+(``RequestFeatures``), so the example applications read like the paper's
+pseudocode.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.core.algorithm import Algorithm
+from repro.core.detector_manager import DetectionModel, DetectorManager
+from repro.core.feature_manager import FeatureManager
+from repro.core.preprocessor import Preprocessor
+from repro.core.query import BooleanNode, Condition, Query
+from repro.core.reaction_manager import ReactionManager
+from repro.core.reactions import Reaction
+from repro.core.resource_manager import ResourceManager
+from repro.core.results import ValidationSummary
+from repro.core.ui_manager import UIManager
+from repro.errors import AthenaError
+
+
+def _collect_switch_ids(node: Union[BooleanNode, Condition]) -> List[int]:
+    """Extract ``switch_id == N`` constraints from a query tree."""
+    if isinstance(node, Condition):
+        if node.fieldname == "switch_id" and node.op == "==":
+            return [int(node.value)]
+        return []
+    found: List[int] = []
+    for child in node.children:
+        found.extend(_collect_switch_ids(child))
+    return found
+
+
+class AthenaNorthbound:
+    """The eight core NB APIs over the manager layer."""
+
+    def __init__(
+        self,
+        feature_manager: FeatureManager,
+        detector_manager: DetectorManager,
+        reaction_manager: ReactionManager,
+        resource_manager: ResourceManager,
+        ui_manager: UIManager,
+        all_dpids: Callable[[], List[int]],
+    ) -> None:
+        self.features = feature_manager
+        self.detector = detector_manager
+        self.reactions = reaction_manager
+        self.resources = resource_manager
+        self.ui = ui_manager
+        self._all_dpids = all_dpids
+
+    # -- 1. RequestFeatures(q) ------------------------------------------------
+
+    def request_features(self, query: Query) -> List[Dict[str, Any]]:
+        """Retrieve stored Athena features under user-defined constraints."""
+        return self.features.request_features(query)
+
+    # -- 2. ManageMonitor(q, o) --------------------------------------------------
+
+    def manage_monitor(self, query: Optional[Query], operation: bool) -> None:
+        """Turn monitoring (feature generation) on/off, network-wide or for
+        the switches a query's ``switch_id`` constraints name."""
+        switch_ids = _collect_switch_ids(query._root) if query is not None else []
+        if not switch_ids:
+            self.resources.set_monitoring(operation)
+            return
+        every = set(self._all_dpids())
+        if operation:
+            self.resources.set_monitored_switches(None)
+        else:
+            self.resources.set_monitored_switches(every - set(switch_ids))
+
+    # -- 3. GenerateDetectionModel(q, f, a) ------------------------------------------
+
+    def generate_detection_model(
+        self,
+        query: Query,
+        preprocessor: Preprocessor,
+        algorithm: Algorithm,
+        documents: Optional[List[Dict[str, Any]]] = None,
+    ) -> DetectionModel:
+        """Generate an anomaly detection model from features and an algorithm."""
+        return self.detector.generate_detection_model(
+            query, preprocessor, algorithm, documents=documents
+        )
+
+    # -- 4. ValidateFeatures(q, f, m) ---------------------------------------------------
+
+    def validate_features(
+        self,
+        query: Query,
+        preprocessor: Preprocessor,
+        model: DetectionModel,
+        documents: Optional[List[Dict[str, Any]]] = None,
+    ) -> ValidationSummary:
+        """Validate a feature set against a generated detection model."""
+        return self.detector.validate_features(
+            query, preprocessor, model, documents=documents
+        )
+
+    # -- 5. AddEventHandler(q) ---------------------------------------------------------
+
+    def add_event_handler(self, query: Query, handler: Callable) -> int:
+        """Register for live delivery of features matching ``query``."""
+        return self.features.add_event_handler(query, handler)
+
+    def remove_event_handler(self, handler_id: int) -> bool:
+        return self.features.remove_event_handler(handler_id)
+
+    # -- 6. AddOnlineValidator(f, m, e) ----------------------------------------------------
+
+    def add_online_validator(
+        self,
+        preprocessor: Preprocessor,
+        model: DetectionModel,
+        event_handler: Callable[[Any, bool], None],
+        query: Optional[Query] = None,
+    ) -> int:
+        """Examine incoming features online against a generated model.
+
+        ``query`` narrows which live features are validated (default: all).
+        The ``event_handler`` receives ``(feature, verdict)`` per validation.
+        """
+        if model.preprocessor is None and preprocessor is None:
+            raise AthenaError("online validation needs a fitted preprocessor")
+        validator_id = self.detector.add_online_validator(model, event_handler)
+        self.features.add_event_handler(
+            query or Query(),
+            lambda feature: self.detector.validate_one(validator_id, feature),
+        )
+        return validator_id
+
+    # -- 7. Reactor(q, r) -----------------------------------------------------------------
+
+    def reactor(self, query: Optional[Query], reaction: Reaction) -> int:
+        """Enforce a mitigation action on the data plane."""
+        return self.reactions.enforce(reaction, query=query)
+
+    # -- 8. ShowResults(r') ------------------------------------------------------------------
+
+    def show_results(self, results: Any) -> str:
+        """Display results through the UI manager."""
+        return self.ui.show(results)
+
+    # Paper-style aliases, so application code reads like the pseudocode.
+    RequestFeatures = request_features
+    ManageMonitor = manage_monitor
+    GenerateDetectionModel = generate_detection_model
+    ValidateFeatures = validate_features
+    AddEventHandler = add_event_handler
+    AddOnlineValidator = add_online_validator
+    Reactor = reactor
+    ShowResults = show_results

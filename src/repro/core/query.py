@@ -1,0 +1,378 @@
+"""The Athena query language (Table IV).
+
+A :class:`Query` combines
+
+* a constraint tree over feature/index fields with the arithmetic operators
+  ``> >= == != <= <`` joined by ``and`` / ``or``, and
+* result options: sorting, aggregation, and limiting,
+
+plus an optional time window.  Queries can be built programmatically::
+
+    q = (GenerateQuery()
+         .where("FLOW_PACKET_COUNT", ">", 100)
+         .and_where("ip_dst", "==", "10.0.0.1")
+         .sort_by("FLOW_BYTE_COUNT", descending=True)
+         .limit(10))
+
+or parsed from the paper's textual form::
+
+    q = GenerateQuery("FLOW_PACKET_COUNT > 100 && ip_dst == 10.0.0.1")
+
+and compile to document-store filters (:meth:`Query.to_db_filter`) or
+evaluate directly against feature records / documents
+(:meth:`Query.matches`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.core.feature_format import AthenaFeature
+from repro.errors import QueryError
+
+ARITHMETIC_OPS = (">", ">=", "==", "!=", "<=", "<")
+
+_OP_TO_MONGO = {
+    ">": "$gt",
+    ">=": "$gte",
+    "==": "$eq",
+    "!=": "$ne",
+    "<=": "$lte",
+    "<": "$lt",
+}
+
+
+@dataclass
+class Condition:
+    """A single ``field op value`` constraint."""
+
+    fieldname: str
+    op: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in ARITHMETIC_OPS:
+            raise QueryError(
+                f"unknown operator {self.op!r}; supported: {ARITHMETIC_OPS}"
+            )
+
+    def evaluate(self, doc: Dict[str, Any]) -> bool:
+        actual = doc.get(self.fieldname)
+        if self.op == "==":
+            return actual == self.value
+        if self.op == "!=":
+            return actual != self.value
+        if actual is None:
+            return False
+        try:
+            if self.op == ">":
+                return actual > self.value
+            if self.op == ">=":
+                return actual >= self.value
+            if self.op == "<":
+                return actual < self.value
+            return actual <= self.value
+        except TypeError:
+            return False
+
+    def to_db_filter(self) -> Dict[str, Any]:
+        return {self.fieldname: {_OP_TO_MONGO[self.op]: self.value}}
+
+
+@dataclass
+class BooleanNode:
+    """An ``and`` / ``or`` combination of sub-constraints."""
+
+    connective: str  # "and" | "or"
+    children: List[Union["BooleanNode", Condition]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.connective not in ("and", "or"):
+            raise QueryError(f"unknown connective {self.connective!r}")
+
+    def evaluate(self, doc: Dict[str, Any]) -> bool:
+        if not self.children:
+            return True
+        results = (child.evaluate(doc) for child in self.children)
+        return all(results) if self.connective == "and" else any(results)
+
+    def to_db_filter(self) -> Dict[str, Any]:
+        if not self.children:
+            return {}
+        parts = [child.to_db_filter() for child in self.children]
+        if len(parts) == 1:
+            return parts[0]
+        return {"$and" if self.connective == "and" else "$or": parts}
+
+
+# ---------------------------------------------------------------------------
+# Textual parser: "A > 1 && (B == x || C < 2)"
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<lparen>\()|(?P<rparen>\))|(?P<and>&&|\band\b)|(?P<or>\|\||\bor\b)"
+    r"|(?P<op>>=|<=|==|!=|>|<)|(?P<value>\"[^\"]*\"|'[^']*'|[\w.:/-]+))"
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None or match.end() == position:
+            raise QueryError(f"cannot tokenize query at: {text[position:]!r}")
+        position = match.end()
+        for kind in ("lparen", "rparen", "and", "or", "op", "value"):
+            captured = match.group(kind)
+            if captured is not None:
+                tokens.append((kind, captured))
+                break
+    return tokens
+
+
+def _coerce(raw: str) -> Any:
+    if raw.startswith(("'", '"')) and raw.endswith(("'", '"')):
+        return raw[1:-1]
+    lowered = raw.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    return raw
+
+
+class _Parser:
+    """Recursive-descent parser with 'and' binding tighter than 'or'."""
+
+    def __init__(self, tokens: List[Tuple[str, str]]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    def _peek(self) -> Optional[Tuple[str, str]]:
+        return self.tokens[self.position] if self.position < len(self.tokens) else None
+
+    def _take(self, kind: str) -> str:
+        token = self._peek()
+        if token is None or token[0] != kind:
+            raise QueryError(f"expected {kind}, got {token}")
+        self.position += 1
+        return token[1]
+
+    def parse(self) -> Union[BooleanNode, Condition]:
+        node = self._parse_or()
+        if self._peek() is not None:
+            raise QueryError(f"trailing tokens from {self._peek()!r}")
+        return node
+
+    def _parse_or(self):
+        left = self._parse_and()
+        children = [left]
+        while self._peek() and self._peek()[0] == "or":
+            self._take("or")
+            children.append(self._parse_and())
+        if len(children) == 1:
+            return left
+        return BooleanNode("or", children)
+
+    def _parse_and(self):
+        left = self._parse_atom()
+        children = [left]
+        while self._peek() and self._peek()[0] == "and":
+            self._take("and")
+            children.append(self._parse_atom())
+        if len(children) == 1:
+            return left
+        return BooleanNode("and", children)
+
+    def _parse_atom(self):
+        token = self._peek()
+        if token is None:
+            raise QueryError("unexpected end of query")
+        if token[0] == "lparen":
+            self._take("lparen")
+            node = self._parse_or()
+            self._take("rparen")
+            return node
+        fieldname = self._take("value")
+        op = self._take("op")
+        value = _coerce(self._take("value"))
+        return Condition(fieldname, op, value)
+
+
+def parse_constraints(text: str) -> Union[BooleanNode, Condition]:
+    """Parse the textual constraint syntax into a constraint tree."""
+    tokens = _tokenize(text)
+    if not tokens:
+        return BooleanNode("and", [])
+    return _Parser(tokens).parse()
+
+
+# ---------------------------------------------------------------------------
+# The Query object
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AggregationSpec:
+    """Aggregation option: group by index fields, fold a feature field."""
+
+    group_by: List[str]
+    field: str
+    func: str = "sum"  # sum | avg | min | max | count
+
+    def __post_init__(self) -> None:
+        if self.func not in ("sum", "avg", "min", "max", "count"):
+            raise QueryError(f"unknown aggregation function {self.func!r}")
+
+
+class Query:
+    """A composed Athena feature query."""
+
+    def __init__(self, constraints: Optional[str] = None) -> None:
+        self._root = (
+            parse_constraints(constraints)
+            if constraints
+            else BooleanNode("and", [])
+        )
+        self._sort: List[Tuple[str, int]] = []
+        self._limit: Optional[int] = None
+        self._aggregation: Optional[AggregationSpec] = None
+        self._time_window: Optional[Tuple[float, float]] = None
+
+    # -- builder interface ----------------------------------------------------
+
+    def where(self, fieldname: str, op: str, value: Any) -> "Query":
+        """Add a constraint AND-ed with the existing tree."""
+        condition = Condition(fieldname, op, value)
+        if isinstance(self._root, BooleanNode) and self._root.connective == "and":
+            self._root.children.append(condition)
+        else:
+            self._root = BooleanNode("and", [self._root, condition])
+        return self
+
+    #: ``and_where`` reads better after a bare ``where`` in app code.
+    and_where = where
+
+    def or_where(self, fieldname: str, op: str, value: Any) -> "Query":
+        """Add a constraint OR-ed with the existing tree."""
+        condition = Condition(fieldname, op, value)
+        if isinstance(self._root, BooleanNode) and not self._root.children:
+            # An empty tree matches everything; OR-ing against it would
+            # keep matching everything, so the condition replaces it.
+            self._root = BooleanNode("or", [condition])
+        elif isinstance(self._root, BooleanNode) and self._root.connective == "or":
+            self._root.children.append(condition)
+        else:
+            self._root = BooleanNode("or", [self._root, condition])
+        return self
+
+    def sort_by(self, fieldname: str, descending: bool = False) -> "Query":
+        self._sort.append((fieldname, -1 if descending else 1))
+        return self
+
+    def limit(self, count: int) -> "Query":
+        if count < 0:
+            raise QueryError(f"negative limit {count}")
+        self._limit = count
+        return self
+
+    def aggregate(
+        self, group_by: List[str], fieldname: str, func: str = "sum"
+    ) -> "Query":
+        self._aggregation = AggregationSpec(list(group_by), fieldname, func)
+        return self
+
+    def time_window(self, start: float, end: float) -> "Query":
+        if end < start:
+            raise QueryError(f"empty time window [{start}, {end}]")
+        self._time_window = (start, end)
+        return self
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def sort_spec(self) -> List[Tuple[str, int]]:
+        return list(self._sort)
+
+    @property
+    def limit_value(self) -> Optional[int]:
+        return self._limit
+
+    @property
+    def aggregation(self) -> Optional[AggregationSpec]:
+        return self._aggregation
+
+    # -- evaluation ----------------------------------------------------------------
+
+    def matches(self, record: Union[AthenaFeature, Dict[str, Any]]) -> bool:
+        """Evaluate the constraint tree against a record or document."""
+        doc = record.to_document() if isinstance(record, AthenaFeature) else record
+        if self._time_window is not None:
+            stamp = doc.get("timestamp")
+            if stamp is None or not (
+                self._time_window[0] <= stamp <= self._time_window[1]
+            ):
+                return False
+        return self._root.evaluate(doc)
+
+    def to_db_filter(self) -> Dict[str, Any]:
+        """Compile the constraints (and window) to a document-store filter."""
+        base = self._root.to_db_filter()
+        if self._time_window is None:
+            return base
+        window = {
+            "timestamp": {
+                "$gte": self._time_window[0],
+                "$lte": self._time_window[1],
+            }
+        }
+        if not base:
+            return window
+        return {"$and": [base, window]}
+
+    def to_db_pipeline(self) -> Optional[List[Dict[str, Any]]]:
+        """Compile to an aggregation pipeline when aggregation is requested."""
+        if self._aggregation is None:
+            return None
+        spec = self._aggregation
+        accumulator = {
+            "sum": {"$sum": f"${spec.field}"},
+            "avg": {"$avg": f"${spec.field}"},
+            "min": {"$min": f"${spec.field}"},
+            "max": {"$max": f"${spec.field}"},
+            "count": {"$count": 1},
+        }[spec.func]
+        group_id = (
+            {name: f"${name}" for name in spec.group_by}
+            if len(spec.group_by) > 1
+            else f"${spec.group_by[0]}"
+        )
+        pipeline: List[Dict[str, Any]] = []
+        filter_ = self.to_db_filter()
+        if filter_:
+            pipeline.append({"$match": filter_})
+        pipeline.append({"$group": {"_id": group_id, spec.field: accumulator}})
+        if self._sort:
+            pipeline.append({"$sort": dict(self._sort)})
+        if self._limit is not None:
+            pipeline.append({"$limit": self._limit})
+        return pipeline
+
+    def __repr__(self) -> str:
+        return f"Query(filter={self.to_db_filter()}, sort={self._sort}, limit={self._limit})"
+
+
+def GenerateQuery(constraints: Optional[str] = None) -> Query:
+    """NB utility API: create a query, optionally from textual constraints."""
+    return Query(constraints)

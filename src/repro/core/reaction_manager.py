@@ -1,0 +1,87 @@
+"""The Reaction Manager (Figure 3, component 2C).
+
+Translates declarative reactions into Attack Reactor invocations.  The
+manager resolves target hosts — either given explicitly in the reaction or
+discovered by running a query over stored features and collecting distinct
+suspicious sources — locates each host in the data plane, and asks the
+reactor of the mastering Athena instance to enforce the mitigation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.feature_manager import FeatureManager
+from repro.core.query import Query
+from repro.core.reactions import BlockReaction, QuarantineReaction, Reaction
+from repro.errors import ReactionError
+
+
+class ReactionManager:
+    """Mitigation orchestration across the Athena instances."""
+
+    def __init__(
+        self,
+        feature_manager: FeatureManager,
+        reactor_lookup: Callable[[int], object],
+        host_locator: Callable[[str], Optional[object]],
+        all_dpids: Callable[[], List[int]],
+    ) -> None:
+        self.feature_manager = feature_manager
+        self._reactor_lookup = reactor_lookup
+        self._host_locator = host_locator
+        self._all_dpids = all_dpids
+        self.reactions_enforced = 0
+        self.history: List[Dict] = []
+
+    def resolve_targets(self, query: Query) -> List[str]:
+        """Distinct suspicious source IPs among features matching ``query``."""
+        docs = self.feature_manager.request_features(query)
+        targets = []
+        for doc in docs:
+            ip = doc.get("ip_src")
+            if ip and ip not in targets:
+                targets.append(ip)
+        return targets
+
+    def enforce(self, reaction: Reaction, query: Optional[Query] = None) -> int:
+        """Apply a reaction; returns the number of mitigation rules issued."""
+        targets = list(reaction.target_ips)
+        if query is not None:
+            targets.extend(
+                ip for ip in self.resolve_targets(query) if ip not in targets
+            )
+        if not targets:
+            raise ReactionError("reaction resolved no target hosts")
+        rules = 0
+        for ip in targets:
+            rules += self._enforce_one(reaction, ip)
+        self.reactions_enforced += 1
+        self.history.append(
+            {"reaction": reaction.describe(), "targets": targets, "rules": rules}
+        )
+        return rules
+
+    def _enforce_one(self, reaction: Reaction, ip: str) -> int:
+        location = self._host_locator(ip)
+        if isinstance(reaction, BlockReaction) and reaction.everywhere:
+            dpids = self._all_dpids()
+        elif location is not None:
+            dpids = [location.point.dpid]
+        else:
+            # Unknown attachment: fall back to network-wide enforcement.
+            dpids = self._all_dpids()
+        rules = 0
+        for dpid in dpids:
+            reactor = self._reactor_lookup(dpid)
+            if reactor is None:
+                raise ReactionError(f"no Athena reactor covers switch {dpid}")
+            if isinstance(reaction, QuarantineReaction):
+                if not reaction.honeypot_ip:
+                    raise ReactionError("quarantine reaction needs a honeypot_ip")
+                rules += reactor.quarantine(
+                    ip, reaction.honeypot_ip, priority=reaction.priority
+                )
+            else:
+                rules += reactor.block(ip, priority=reaction.priority)
+        return rules

@@ -1,0 +1,46 @@
+"""Athena reactions (Table IV): Block and Quarantine.
+
+A reaction is a declarative mitigation: the Reaction Manager resolves the
+target hosts from a query or explicit list and the Attack Reactor translates
+it to flow rules via the Athena Proxy.
+
+* **Block** installs a high-priority drop rule for the suspicious source at
+  its attachment switch (or everywhere, for insider threats).
+* **Quarantine** rewrites the suspicious source's traffic toward a honeynet
+  destination, so the attacker keeps talking while isolated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class Reaction:
+    """Base reaction: which hosts to act on."""
+
+    target_ips: List[str] = field(default_factory=list)
+    kind: str = "base"
+    #: Priority used for mitigation rules; above every forwarding app.
+    priority: int = 1000
+
+    def describe(self) -> str:
+        return f"{self.kind}({', '.join(self.target_ips)})"
+
+
+@dataclass
+class BlockReaction(Reaction):
+    """Drop all traffic sourced from the target hosts."""
+
+    #: Install on every switch (insider threat coverage) or edge-only.
+    everywhere: bool = False
+    kind: str = "block"
+
+
+@dataclass
+class QuarantineReaction(Reaction):
+    """Redirect the target hosts' traffic into a honeynet."""
+
+    honeypot_ip: Optional[str] = None
+    kind: str = "quarantine"

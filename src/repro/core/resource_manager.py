@@ -1,0 +1,87 @@
+"""The Resource Manager (Figure 3, component 2D).
+
+Exports the monitoring-fidelity controls: which switches are monitored,
+which feature scopes and categories are generated, and how often Athena's
+own statistics polling runs.  Applications call these to trade monitoring
+coverage against overhead under dynamic network conditions (ManageMonitor
+is implemented on top of these controls).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Set
+
+from repro.core.feature_format import FeatureScope
+from repro.core.features.catalog import FeatureCategory
+from repro.errors import AthenaError
+
+
+class ResourceManager:
+    """Fidelity control over every Athena instance's Feature Generator."""
+
+    def __init__(self, instances_lookup: Callable[[], List[object]]) -> None:
+        self._instances = instances_lookup
+        self.monitoring_enabled = True
+
+    def _generators(self) -> List[object]:
+        return [instance.generator for instance in self._instances()]
+
+    # -- global switch ------------------------------------------------------
+
+    def set_monitoring(self, enabled: bool) -> None:
+        """Master on/off for feature generation (ManageMonitor's flag)."""
+        self.monitoring_enabled = enabled
+        for generator in self._generators():
+            generator.enabled_scopes = set(FeatureScope) if enabled else set()
+
+    # -- entity selection ------------------------------------------------------
+
+    def set_monitored_switches(self, dpids: Optional[Iterable[int]]) -> None:
+        """Restrict monitoring to a switch subset (None = all switches)."""
+        selected: Optional[Set[int]] = None if dpids is None else set(dpids)
+        for generator in self._generators():
+            generator.monitored_switches = selected
+
+    def set_scopes(self, scopes: Iterable[FeatureScope]) -> None:
+        """Enable only the given feature scopes (flow/port/switch/control)."""
+        selected = set(scopes)
+        unknown = selected - set(FeatureScope)
+        if unknown:
+            raise AthenaError(f"unknown scopes: {unknown}")
+        for generator in self._generators():
+            generator.enabled_scopes = set(selected)
+
+    def set_categories(self, categories: Iterable[FeatureCategory]) -> None:
+        """Enable only the given Table I categories."""
+        selected = set(categories)
+        unknown = selected - set(FeatureCategory)
+        if unknown:
+            raise AthenaError(f"unknown categories: {unknown}")
+        for generator in self._generators():
+            generator.enabled_categories = set(selected)
+
+    # -- polling cadence ----------------------------------------------------------
+
+    def set_poll_interval(self, seconds: float) -> None:
+        """Adjust Athena's own statistics-polling cadence on every instance."""
+        if seconds <= 0:
+            raise AthenaError(f"poll interval must be positive, got {seconds}")
+        for instance in self._instances():
+            instance.athena_poll_interval = seconds
+
+    def current_fidelity(self) -> dict:
+        """A snapshot of the fidelity knobs (first instance's view)."""
+        generators = self._generators()
+        if not generators:
+            return {}
+        generator = generators[0]
+        return {
+            "monitoring_enabled": self.monitoring_enabled,
+            "scopes": sorted(s.value for s in generator.enabled_scopes),
+            "categories": sorted(c.value for c in generator.enabled_categories),
+            "monitored_switches": (
+                sorted(generator.monitored_switches)
+                if generator.monitored_switches is not None
+                else "all"
+            ),
+        }

@@ -1,0 +1,113 @@
+"""Validation results (the Figure 6 testing summary).
+
+:class:`ValidationSummary` carries the confusion counts, detection/false
+alarm rates, unique-flow counts, and — for clustering algorithms — the
+per-cluster benign/malicious composition, and renders itself in the same
+layout as the paper's DDoS detector output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class ClusterReport:
+    """Composition of one cluster in a clustering-based validation."""
+
+    cluster_id: int
+    benign_entries: int
+    malicious_entries: int
+    is_malicious: bool
+
+
+@dataclass
+class ValidationSummary:
+    """Outcome of ValidateFeatures over a dataset."""
+
+    total_entries: int
+    benign_entries: int
+    malicious_entries: int
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+    unique_benign_flows: int = 0
+    unique_malicious_flows: int = 0
+    algorithm_description: str = ""
+    cluster_info: Optional[str] = None
+    clusters: List[ClusterReport] = field(default_factory=list)
+    predictions: Optional[np.ndarray] = None
+    elapsed_seconds: float = 0.0
+
+    @property
+    def detection_rate(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def false_alarm_rate(self) -> float:
+        denominator = self.false_positives + self.true_negatives
+        return self.false_positives / denominator if denominator else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        correct = self.true_positives + self.true_negatives
+        return correct / self.total_entries if self.total_entries else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "total_entries": self.total_entries,
+            "benign_entries": self.benign_entries,
+            "malicious_entries": self.malicious_entries,
+            "true_positives": self.true_positives,
+            "false_positives": self.false_positives,
+            "true_negatives": self.true_negatives,
+            "false_negatives": self.false_negatives,
+            "detection_rate": self.detection_rate,
+            "false_alarm_rate": self.false_alarm_rate,
+            "accuracy": self.accuracy,
+        }
+
+    def render(self) -> str:
+        """The Figure 6 text layout."""
+        lines = [
+            "-" * 72,
+            f"Total : {self.total_entries:,} entries",
+            (
+                f"Benign : {self.benign_entries:,} entries"
+                + (
+                    f" ({self.unique_benign_flows:,} unique flows)"
+                    if self.unique_benign_flows
+                    else ""
+                )
+            ),
+            (
+                f"Malicious : {self.malicious_entries:,} entries"
+                + (
+                    f" ({self.unique_malicious_flows:,} unique flows)"
+                    if self.unique_malicious_flows
+                    else ""
+                )
+            ),
+            f"True Positive : {self.true_positives:,} entries",
+            f"False Positive : {self.false_positives:,} entries",
+            f"True Negative : {self.true_negatives:,} entries",
+            f"False Negative : {self.false_negatives:,} entries",
+            f"Detection Rate : {self.detection_rate}",
+            f"False Alarm Rate: {self.false_alarm_rate}",
+        ]
+        if self.cluster_info:
+            lines.append(f"Cluster ({self.algorithm_description})")
+            lines.append(f"Cluster Information : {self.cluster_info}")
+        for cluster in self.clusters:
+            lines.append(
+                f"Cluster #{cluster.cluster_id}: "
+                f"Benign ({cluster.benign_entries:,} entries), "
+                f"Malicious ({cluster.malicious_entries:,} entries)"
+            )
+        lines.append("-" * 72)
+        return "\n".join(lines)

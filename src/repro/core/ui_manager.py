@@ -1,0 +1,96 @@
+"""The UI Manager (Figure 3, component 2E).
+
+A terminal-rendering stand-in for the paper's JFreeChart GUI: validation
+summaries render in the Figure 6 text layout, grouped time series render as
+ASCII charts (the Figure 9 view), and alerts accumulate in an operator log.
+``ShowResults`` routes through here.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.results import ValidationSummary
+
+
+class UIManager:
+    """Operator-facing result rendering and alert log."""
+
+    def __init__(self, echo: bool = False) -> None:
+        #: When True, rendered output is also printed to stdout.
+        self.echo = echo
+        self.alerts: List[Dict[str, Any]] = []
+        self.rendered: List[str] = []
+
+    def _record(self, text: str) -> str:
+        self.rendered.append(text)
+        if self.echo:
+            print(text)
+        return text
+
+    def show(self, results: Any) -> str:
+        """Render any supported result object (ShowResults)."""
+        if isinstance(results, ValidationSummary):
+            return self._record(results.render())
+        if isinstance(results, str):
+            return self._record(results)
+        if isinstance(results, dict):
+            lines = [f"{key}: {value}" for key, value in results.items()]
+            return self._record("\n".join(lines))
+        if isinstance(results, Sequence):
+            return self._record("\n".join(str(row) for row in results))
+        return self._record(str(results))
+
+    def alert(self, source: str, message: str, severity: str = "warning") -> None:
+        """Record an operator alert (the NAE monitor's SLA violations)."""
+        entry = {"source": source, "message": message, "severity": severity}
+        self.alerts.append(entry)
+        if self.echo:
+            print(f"[{severity.upper()}] {source}: {message}")
+
+    def show_timeseries(
+        self,
+        rows: List[Dict[str, Any]],
+        time_field: str = "timestamp",
+        value_field: str = "value",
+        group_field: Optional[str] = None,
+        width: int = 60,
+        height: int = 12,
+    ) -> str:
+        """ASCII chart of grouped time series (the Figure 9 rendering).
+
+        Each group gets its own glyph; points are bucketed into ``width``
+        time columns and ``height`` value rows.
+        """
+        if not rows:
+            return self._record("(no data)")
+        times = [float(r[time_field]) for r in rows]
+        values = [float(r[value_field]) for r in rows]
+        t_min, t_max = min(times), max(times)
+        v_min, v_max = min(values), max(values)
+        t_span = (t_max - t_min) or 1.0
+        v_span = (v_max - v_min) or 1.0
+        groups: Dict[Any, List[tuple]] = defaultdict(list)
+        for row in rows:
+            key = row.get(group_field, "series") if group_field else "series"
+            groups[key].append((float(row[time_field]), float(row[value_field])))
+        glyphs = "ox+*#@%&"
+        canvas = [[" "] * width for _ in range(height)]
+        legend = []
+        for idx, (key, points) in enumerate(sorted(groups.items(), key=lambda kv: str(kv[0]))):
+            glyph = glyphs[idx % len(glyphs)]
+            legend.append(f"{glyph} = {key}")
+            for t, v in points:
+                col = min(width - 1, int((t - t_min) / t_span * (width - 1)))
+                row_ = min(height - 1, int((v - v_min) / v_span * (height - 1)))
+                canvas[height - 1 - row_][col] = glyph
+        lines = [f"{v_max:>12.1f} +" + "".join(canvas[0])]
+        for canvas_row in canvas[1:-1]:
+            lines.append(" " * 13 + "|" + "".join(canvas_row))
+        lines.append(f"{v_min:>12.1f} +" + "".join(canvas[-1]))
+        lines.append(" " * 14 + f"t=[{t_min:.1f}, {t_max:.1f}]  " + "  ".join(legend))
+        return self._record("\n".join(lines))
+
+    def last_output(self) -> Optional[str]:
+        return self.rendered[-1] if self.rendered else None

@@ -1,0 +1,551 @@
+"""The Athena utility API surface.
+
+The paper ships "8 core and 70 utility APIs" (Section III).  The eight core
+functions live on :class:`~repro.core.northbound.AthenaNorthbound`; this
+module is the utility layer: small, documented helpers for building
+queries, selecting features, configuring preprocessors and algorithms,
+composing reactions, and digesting results.  Every helper is registered via
+the ``@utility_api`` decorator so the surface is enumerable
+(:func:`utility_api_names`) and tested against the paper's count.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.algorithm import Algorithm
+from repro.core.feature_format import FeatureScope
+from repro.core.features.catalog import (
+    FEATURE_CATALOG,
+    FeatureCategory,
+    features_by_category,
+    features_by_scope,
+    require_known,
+)
+from repro.core.preprocessor import Preprocessor
+from repro.core.query import Query
+from repro.core.reactions import BlockReaction, QuarantineReaction
+from repro.core.results import ValidationSummary
+
+_UTILITY_REGISTRY: Dict[str, Callable] = {}
+
+
+def utility_api(fn: Callable) -> Callable:
+    """Register ``fn`` as part of the utility API surface."""
+    _UTILITY_REGISTRY[fn.__name__] = fn
+    return fn
+
+
+def utility_api_names() -> List[str]:
+    """Every registered utility API name (the paper counts 70)."""
+    return sorted(_UTILITY_REGISTRY)
+
+
+def utility_api_count() -> int:
+    return len(_UTILITY_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# Query construction helpers
+# ---------------------------------------------------------------------------
+
+
+@utility_api
+def q() -> Query:
+    """A fresh, unconstrained query."""
+    return Query()
+
+
+@utility_api
+def q_text(constraints: str) -> Query:
+    """Parse the textual constraint syntax into a query."""
+    return Query(constraints)
+
+
+@utility_api
+def where_eq(query: Query, fieldname: str, value: Any) -> Query:
+    """Constrain ``fieldname == value``."""
+    return query.where(fieldname, "==", value)
+
+
+@utility_api
+def where_ne(query: Query, fieldname: str, value: Any) -> Query:
+    """Constrain ``fieldname != value``."""
+    return query.where(fieldname, "!=", value)
+
+
+@utility_api
+def where_gt(query: Query, fieldname: str, value: Any) -> Query:
+    """Constrain ``fieldname > value``."""
+    return query.where(fieldname, ">", value)
+
+
+@utility_api
+def where_gte(query: Query, fieldname: str, value: Any) -> Query:
+    """Constrain ``fieldname >= value``."""
+    return query.where(fieldname, ">=", value)
+
+
+@utility_api
+def where_lt(query: Query, fieldname: str, value: Any) -> Query:
+    """Constrain ``fieldname < value``."""
+    return query.where(fieldname, "<", value)
+
+
+@utility_api
+def where_lte(query: Query, fieldname: str, value: Any) -> Query:
+    """Constrain ``fieldname <= value``."""
+    return query.where(fieldname, "<=", value)
+
+
+@utility_api
+def where_between(query: Query, fieldname: str, low: Any, high: Any) -> Query:
+    """Constrain ``low <= fieldname <= high``."""
+    return query.where(fieldname, ">=", low).where(fieldname, "<=", high)
+
+
+@utility_api
+def where_any_of(query: Query, fieldname: str, values: Sequence[Any]) -> Query:
+    """Constrain ``fieldname`` to any of ``values`` (OR expansion)."""
+    from repro.core.query import BooleanNode, Condition
+
+    disjunction = BooleanNode(
+        "or", [Condition(fieldname, "==", value) for value in values]
+    )
+    if isinstance(query._root, BooleanNode) and query._root.connective == "and":
+        query._root.children.append(disjunction)
+    else:
+        query._root = BooleanNode("and", [query._root, disjunction])
+    return query
+
+
+@utility_api
+def flow_features_query() -> Query:
+    """All flow-scoped feature records."""
+    return Query().where("feature_scope", "==", "flow")
+
+
+@utility_api
+def port_features_query() -> Query:
+    """All port-scoped feature records."""
+    return Query().where("feature_scope", "==", "port")
+
+
+@utility_api
+def switch_features_query() -> Query:
+    """All switch-scoped feature records."""
+    return Query().where("feature_scope", "==", "switch")
+
+
+@utility_api
+def control_features_query() -> Query:
+    """All control-plane-scoped feature records."""
+    return Query().where("feature_scope", "==", "control")
+
+
+@utility_api
+def flows_of_switch(dpid: int) -> Query:
+    """Flow records observed at one switch."""
+    return flow_features_query().where("switch_id", "==", dpid)
+
+
+@utility_api
+def flows_between(ip_src: str, ip_dst: str) -> Query:
+    """Flow records for one (source, destination) pair."""
+    return (
+        flow_features_query()
+        .where("ip_src", "==", ip_src)
+        .where("ip_dst", "==", ip_dst)
+    )
+
+
+@utility_api
+def flows_of_app(app_id: str) -> Query:
+    """Flow records attributed to one network application."""
+    return flow_features_query().where("app_id", "==", app_id)
+
+
+@utility_api
+def flows_to_port(tcp_dst: int) -> Query:
+    """Flow records toward one L4 destination port (e.g. 80)."""
+    return flow_features_query().where("tcp_dst", "==", tcp_dst)
+
+
+@utility_api
+def top_talkers(n: int = 10) -> Query:
+    """The ``n`` flows with the highest byte counts (paper's example)."""
+    return (
+        flow_features_query()
+        .sort_by("FLOW_BYTE_COUNT", descending=True)
+        .limit(n)
+    )
+
+
+@utility_api
+def top_congested_ports(n: int = 10) -> Query:
+    """The ``n`` most-utilised ports ('top 10 congested links')."""
+    return (
+        port_features_query()
+        .sort_by("PORT_UTILIZATION", descending=True)
+        .limit(n)
+    )
+
+
+@utility_api
+def unstable_ports(window_start: float, window_end: float) -> Query:
+    """Ports with volume variation inside a temporal window."""
+    return (
+        port_features_query()
+        .where("PORT_RX_BYTES_VAR", ">", 0)
+        .time_window(window_start, window_end)
+    )
+
+
+@utility_api
+def utilization_per_app() -> Query:
+    """'Flow utilization per network application' (the Section IV example)."""
+    return flow_features_query().aggregate(["app_id"], "FLOW_UTILIZATION", "avg")
+
+
+@utility_api
+def paired_flows_only(query: Optional[Query] = None) -> Query:
+    """Restrict to flows with a live reverse direction."""
+    return (query or flow_features_query()).where("PAIR_FLOW", "==", 1.0)
+
+
+@utility_api
+def unpaired_flows_only(query: Optional[Query] = None) -> Query:
+    """Restrict to one-way flows (the DDoS signature)."""
+    return (query or flow_features_query()).where("PAIR_FLOW", "==", 0.0)
+
+
+@utility_api
+def within_last(query: Query, now: float, seconds: float) -> Query:
+    """Constrain a query to the trailing ``seconds`` window."""
+    return query.time_window(max(0.0, now - seconds), now)
+
+
+# ---------------------------------------------------------------------------
+# Feature-selection helpers
+# ---------------------------------------------------------------------------
+
+
+@utility_api
+def all_feature_names() -> List[str]:
+    """Every feature in the catalog (100+)."""
+    return sorted(FEATURE_CATALOG)
+
+
+@utility_api
+def protocol_features() -> List[str]:
+    """Table I protocol-centric features."""
+    return features_by_category(FeatureCategory.PROTOCOL)
+
+
+@utility_api
+def combination_features() -> List[str]:
+    """Table I combination features."""
+    return features_by_category(FeatureCategory.COMBINATION)
+
+
+@utility_api
+def stateful_features() -> List[str]:
+    """Table I stateful features."""
+    return features_by_category(FeatureCategory.STATEFUL)
+
+
+@utility_api
+def variation_features() -> List[str]:
+    """All ``*_VAR`` delta features."""
+    return features_by_category(FeatureCategory.VARIATION)
+
+
+@utility_api
+def flow_scope_features() -> List[str]:
+    """Features describing individual flows."""
+    return features_by_scope(FeatureScope.FLOW)
+
+
+@utility_api
+def port_scope_features() -> List[str]:
+    """Features describing switch ports."""
+    return features_by_scope(FeatureScope.PORT)
+
+
+@utility_api
+def ddos_candidate_features() -> List[str]:
+    """The Table V candidate set for DDoS detection (the 10-tuple)."""
+    from repro.workloads.ddos import DDOS_FEATURES
+
+    return list(DDOS_FEATURES)
+
+
+@utility_api
+def lfa_candidate_features() -> List[str]:
+    """The volume/variation candidates of the LFA scenario."""
+    return ["PORT_RX_BYTES", "PORT_RX_BYTES_VAR", "FLOW_BYTE_COUNT",
+            "FLOW_BYTE_COUNT_VAR", "PORT_UTILIZATION"]
+
+
+@utility_api
+def feature_description(name: str) -> str:
+    """Human-readable description of a catalog feature."""
+    return require_known(name).description
+
+
+@utility_api
+def feature_category(name: str) -> str:
+    """Table I category of a catalog feature."""
+    return require_known(name).category.value
+
+
+@utility_api
+def is_variation_feature(name: str) -> bool:
+    """Whether ``name`` is a ``*_VAR`` delta feature."""
+    return require_known(name).category is FeatureCategory.VARIATION
+
+
+@utility_api
+def base_feature_of(name: str) -> str:
+    """The base feature a ``*_VAR`` feature derives from."""
+    if not is_variation_feature(name):
+        return name
+    return name[: -len("_VAR")]
+
+
+# ---------------------------------------------------------------------------
+# Preprocessor helpers
+# ---------------------------------------------------------------------------
+
+
+@utility_api
+def preprocessor(features: Sequence[str], **kwargs: Any) -> Preprocessor:
+    """A preprocessor over ``features`` (minmax normalization by default)."""
+    return Preprocessor(features=list(features), **kwargs)
+
+
+@utility_api
+def normalized_minmax(features: Sequence[str]) -> Preprocessor:
+    """Min-max normalization over ``features``."""
+    return Preprocessor(features=list(features), normalization="minmax")
+
+
+@utility_api
+def normalized_standard(features: Sequence[str]) -> Preprocessor:
+    """Z-score standardisation over ``features``."""
+    return Preprocessor(features=list(features), normalization="standard")
+
+
+@utility_api
+def with_weights(pre: Preprocessor, weights: Dict[str, float]) -> Preprocessor:
+    """Emphasize features with per-column weights (Table IV Weighting)."""
+    for feature, weight in weights.items():
+        pre.set_weight(feature, weight)
+    return pre
+
+
+@utility_api
+def with_sampling(pre: Preprocessor, fraction: float, seed: int = 0) -> Preprocessor:
+    """Sample a fraction of the entries (Table IV Sampling)."""
+    pre.sampling = fraction
+    pre.sampling_seed = seed
+    return pre
+
+
+@utility_api
+def mark_by_label(pre: Preprocessor) -> Preprocessor:
+    """Mark entries malicious from the ground-truth ``label`` field."""
+    pre.marking = "label"
+    return pre
+
+
+@utility_api
+def mark_by_query(pre: Preprocessor, query: Query) -> Preprocessor:
+    """Mark entries matching ``query`` as malicious (Table IV Marking)."""
+    pre.marking = query
+    return pre
+
+
+@utility_api
+def mark_by_sources(pre: Preprocessor, suspicious_ips: Sequence[str]) -> Preprocessor:
+    """Mark entries whose source is in a suspicious-host set."""
+    wanted = set(suspicious_ips)
+    pre.marking = lambda doc: doc.get("ip_src") in wanted
+    return pre
+
+
+# ---------------------------------------------------------------------------
+# Algorithm helpers (one per Table IV algorithm)
+# ---------------------------------------------------------------------------
+
+
+def _algorithm(name: str, **params: Any) -> Algorithm:
+    return Algorithm(name=name, params=dict(params))
+
+
+@utility_api
+def kmeans(k: int = 8, max_iterations: int = 20, runs: int = 5, **kw: Any) -> Algorithm:
+    """K-Means (the paper's DDoS configuration by default)."""
+    return _algorithm("kmeans", k=k, max_iterations=max_iterations, runs=runs, **kw)
+
+
+@utility_api
+def gaussian_mixture(k: int = 2, **kw: Any) -> Algorithm:
+    """Gaussian mixture clustering."""
+    return _algorithm("gaussian_mixture", k=k, **kw)
+
+
+@utility_api
+def decision_tree(max_depth: int = 8, **kw: Any) -> Algorithm:
+    """CART decision-tree classification."""
+    return _algorithm("decision_tree", max_depth=max_depth, **kw)
+
+
+@utility_api
+def logistic_regression(**kw: Any) -> Algorithm:
+    """Binary logistic-regression classification."""
+    return _algorithm("logistic_regression", **kw)
+
+
+@utility_api
+def naive_bayes(**kw: Any) -> Algorithm:
+    """Gaussian naive-Bayes classification."""
+    return _algorithm("naive_bayes", **kw)
+
+
+@utility_api
+def random_forest(n_trees: int = 20, **kw: Any) -> Algorithm:
+    """Random-forest classification."""
+    return _algorithm("random_forest", n_trees=n_trees, **kw)
+
+
+@utility_api
+def svm(**kw: Any) -> Algorithm:
+    """Linear SVM classification."""
+    return _algorithm("svm", **kw)
+
+
+@utility_api
+def gradient_boosted_tree(n_estimators: int = 30, **kw: Any) -> Algorithm:
+    """Gradient-boosted-tree classification (Table IV Boosting)."""
+    return _algorithm("gradient_boosted_tree", n_estimators=n_estimators, **kw)
+
+
+@utility_api
+def lasso(alpha: float = 1.0, **kw: Any) -> Algorithm:
+    """Lasso regression."""
+    return _algorithm("lasso", alpha=alpha, **kw)
+
+
+@utility_api
+def linear(**kw: Any) -> Algorithm:
+    """Ordinary least-squares regression."""
+    return _algorithm("linear", **kw)
+
+
+@utility_api
+def ridge(alpha: float = 1.0, **kw: Any) -> Algorithm:
+    """Ridge regression."""
+    return _algorithm("ridge", alpha=alpha, **kw)
+
+
+@utility_api
+def threshold(column: int = 0, bound: Optional[float] = None, op: str = ">") -> Algorithm:
+    """Simple threshold detection (no learning phase)."""
+    return _algorithm("threshold", column=column, threshold=bound, op=op)
+
+
+@utility_api
+def som(rows: int = 3, cols: int = 3, **kw: Any) -> Algorithm:
+    """Self-organizing map (the [10] baseline, usable like any algorithm)."""
+    return _algorithm("som", rows=rows, cols=cols, **kw)
+
+
+# ---------------------------------------------------------------------------
+# Reaction helpers
+# ---------------------------------------------------------------------------
+
+
+@utility_api
+def block_hosts(ips: Sequence[str]) -> BlockReaction:
+    """Block the listed hosts at their attachment switches."""
+    return BlockReaction(target_ips=list(ips))
+
+
+@utility_api
+def block_everywhere(ips: Sequence[str]) -> BlockReaction:
+    """Block the listed hosts on every switch (insider-threat coverage)."""
+    return BlockReaction(target_ips=list(ips), everywhere=True)
+
+
+@utility_api
+def quarantine_hosts(ips: Sequence[str], honeypot_ip: str) -> QuarantineReaction:
+    """Redirect the listed hosts' traffic into a honeynet."""
+    return QuarantineReaction(target_ips=list(ips), honeypot_ip=honeypot_ip)
+
+
+@utility_api
+def suspicious_sources_query(ips: Sequence[str]) -> Query:
+    """The paper's 'IP_SRC in {suspicious hosts}' reactor query."""
+    query = Query()
+    for ip in ips:
+        query.or_where("ip_src", "==", ip)
+    return query
+
+
+# ---------------------------------------------------------------------------
+# Results helpers (the ResultsGenerator surface)
+# ---------------------------------------------------------------------------
+
+
+@utility_api
+def results_generator(rows: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Normalise aggregated rows into a result list (ResultsGenerator)."""
+    return [dict(row) for row in rows]
+
+
+@utility_api
+def detection_rate_of(summary: ValidationSummary) -> float:
+    """DR = TP / (TP + FN)."""
+    return summary.detection_rate
+
+
+@utility_api
+def false_alarm_rate_of(summary: ValidationSummary) -> float:
+    """FAR = FP / (FP + TN)."""
+    return summary.false_alarm_rate
+
+
+@utility_api
+def accuracy_of(summary: ValidationSummary) -> float:
+    """Overall accuracy of a validation."""
+    return summary.accuracy
+
+
+@utility_api
+def confusion_of(summary: ValidationSummary) -> Dict[str, int]:
+    """TP/FP/TN/FN counts of a validation."""
+    return {
+        "tp": summary.true_positives,
+        "fp": summary.false_positives,
+        "tn": summary.true_negatives,
+        "fn": summary.false_negatives,
+    }
+
+
+@utility_api
+def malicious_clusters_of(summary: ValidationSummary) -> List[int]:
+    """Ids of clusters labelled malicious in a clustering validation."""
+    return [c.cluster_id for c in summary.clusters if c.is_malicious]
+
+
+@utility_api
+def render_results(summary: ValidationSummary) -> str:
+    """The Figure 6 text rendering of a validation summary."""
+    return summary.render()
+
+
+@utility_api
+def results_to_dict(summary: ValidationSummary) -> Dict[str, float]:
+    """Flatten a validation summary for logging/export."""
+    return summary.to_dict()

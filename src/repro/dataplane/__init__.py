@@ -1,0 +1,28 @@
+"""Discrete-event OpenFlow data-plane simulator.
+
+This package replaces the paper's physical Pica8/Arista switches, OVS
+instances and Mininet environment.  Switches hold real flow tables with
+priority matching, per-flow and per-port counters, and idle/hard timeouts;
+links carry packets with latency and capacity; hosts inject traffic.  The
+counters produced here are the ground truth that Athena's Feature Generator
+turns into features.
+"""
+
+from repro.dataplane.host import Host
+from repro.dataplane.link import Link
+from repro.dataplane.network import Network
+from repro.dataplane.packet import Packet, flow_headers
+from repro.dataplane.port import Port
+from repro.dataplane.switch import OpenFlowSwitch
+from repro.dataplane.flowtable import FlowTable
+
+__all__ = [
+    "Host",
+    "Link",
+    "Network",
+    "Packet",
+    "flow_headers",
+    "Port",
+    "OpenFlowSwitch",
+    "FlowTable",
+]

@@ -1,0 +1,158 @@
+"""Priority-ordered flow tables.
+
+Lookup semantics follow the OpenFlow specification: the highest-priority
+entry whose match covers the packet wins; among equal priorities the more
+specific match wins (a deterministic tie-break the spec leaves undefined).
+The table also implements strict/non-strict modify and delete, and timeout
+scanning that yields evicted entries so the switch can emit FLOW_REMOVED.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import DataPlaneError
+from repro.openflow.constants import FlowRemovedReason
+from repro.openflow.flow import FlowEntry
+from repro.openflow.match import Match
+
+
+class FlowTable:
+    """One flow table of a switch."""
+
+    def __init__(self, table_id: int = 0, max_entries: int = 65536) -> None:
+        self.table_id = table_id
+        self.max_entries = max_entries
+        self._entries: List[FlowEntry] = []
+        self._sorted = True
+        self.lookup_count = 0
+        self.matched_count = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        self._ensure_sorted()
+        return iter(list(self._entries))
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._entries.sort(key=FlowEntry.sort_key)
+            self._sorted = True
+
+    @property
+    def entries(self) -> List[FlowEntry]:
+        """Entries in match-precedence order (copy)."""
+        self._ensure_sorted()
+        return list(self._entries)
+
+    def insert(self, entry: FlowEntry, now: float) -> FlowEntry:
+        """Add an entry; an identical (match, priority) pair is replaced,
+        preserving OpenFlow overlap semantics for ADD."""
+        if len(self._entries) >= self.max_entries:
+            raise DataPlaneError(
+                f"flow table {self.table_id} full ({self.max_entries} entries)"
+            )
+        self._entries = [
+            existing
+            for existing in self._entries
+            if not (
+                existing.priority == entry.priority
+                and existing.match == entry.match
+            )
+        ]
+        entry.table_id = self.table_id
+        entry.stats.install_time = now
+        entry.stats.last_packet_time = now
+        self._entries.append(entry)
+        self._sorted = False
+        return entry
+
+    def lookup(self, headers: Dict[str, Any]) -> Optional[FlowEntry]:
+        """Find the winning entry for a packet-header dict."""
+        self._ensure_sorted()
+        self.lookup_count += 1
+        for entry in self._entries:
+            if entry.match.matches(headers):
+                self.matched_count += 1
+                return entry
+        return None
+
+    def modify(
+        self,
+        match: Match,
+        actions,
+        priority: Optional[int] = None,
+        strict: bool = False,
+    ) -> int:
+        """MODIFY / MODIFY_STRICT: update actions of covered entries.
+
+        Returns the number of entries touched.  Non-strict modify touches
+        every entry whose match is a subset of ``match``; strict requires an
+        exact (match, priority) pair.
+        """
+        touched = 0
+        for entry in self._entries:
+            if strict:
+                hit = entry.match == match and (
+                    priority is None or entry.priority == priority
+                )
+            else:
+                hit = entry.match.is_subset_of(match)
+            if hit:
+                entry.actions = list(actions)
+                touched += 1
+        return touched
+
+    def delete(
+        self,
+        match: Match,
+        priority: Optional[int] = None,
+        strict: bool = False,
+        out_port: Optional[int] = None,
+    ) -> List[FlowEntry]:
+        """DELETE / DELETE_STRICT: remove covered entries and return them."""
+        kept: List[FlowEntry] = []
+        removed: List[FlowEntry] = []
+        for entry in self._entries:
+            if strict:
+                hit = entry.match == match and (
+                    priority is None or entry.priority == priority
+                )
+            else:
+                hit = entry.match.is_subset_of(match)
+            if hit and out_port is not None:
+                hit = any(
+                    getattr(action, "port", None) == out_port
+                    for action in entry.actions
+                )
+            (removed if hit else kept).append(entry)
+        self._entries = kept
+        return removed
+
+    def expire(self, now: float) -> List[Tuple[FlowEntry, FlowRemovedReason]]:
+        """Evict timed-out entries, returning them with the eviction reason."""
+        expired: List[Tuple[FlowEntry, FlowRemovedReason]] = []
+        kept: List[FlowEntry] = []
+        for entry in self._entries:
+            if entry.is_hard_expired(now):
+                expired.append((entry, FlowRemovedReason.HARD_TIMEOUT))
+            elif entry.is_idle_expired(now):
+                expired.append((entry, FlowRemovedReason.IDLE_TIMEOUT))
+            else:
+                kept.append(entry)
+        self._entries = kept
+        return expired
+
+    def find(self, match: Match, priority: Optional[int] = None) -> Optional[FlowEntry]:
+        """Exact (match, priority) lookup, for tests and the controller."""
+        for entry in self._entries:
+            if entry.match == match and (
+                priority is None or entry.priority == priority
+            ):
+                return entry
+        return None
+
+    def select(self, match: Match) -> Iterable[FlowEntry]:
+        """Entries whose match is a subset of ``match`` (stats filtering)."""
+        return [e for e in self._entries if e.match.is_subset_of(match)]

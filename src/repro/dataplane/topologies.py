@@ -1,0 +1,268 @@
+"""Topology builders, including the paper's evaluation environments.
+
+* :func:`braga_topology` — the 3-switch / 3-link / 1-controller environment
+  of Braga et al. [10], the prior-work row of Table VI.
+* :func:`enterprise_topology` — the paper's Figure 7 environment: 18 OpenFlow
+  switches (6 physical core, 12 OVS edge), 48 switch-to-switch links, three
+  controller domains.
+* :func:`nae_topology` — the Figure 8 seven-switch environment for the
+  Network Application Effectiveness scenario (edge switches S1/S5, alternate
+  S3 vs S6/S7 paths, servers behind S4, a security device on S6).
+* generic :func:`linear_topology` and :func:`tree_topology` for tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dataplane.network import Network
+from repro.simkernel import Simulator
+from repro.types import ip_from_int, mac_from_int
+
+#: First host port number on every switch; lower ports carry inter-switch links.
+HOST_PORT_BASE = 100
+
+
+@dataclass
+class TopologyInfo:
+    """A built network plus layout metadata the controller cluster needs."""
+
+    network: Network
+    #: Controller domain assignments: domain index -> list of dpids.
+    domains: List[List[int]] = field(default_factory=list)
+    #: Hosts by role, e.g. {"clients": [...], "servers": [...]}.
+    roles: Dict[str, List[str]] = field(default_factory=dict)
+    #: Dpid of notable switches, e.g. {"security_device": 6}.
+    landmarks: Dict[str, int] = field(default_factory=dict)
+
+
+def _host_identity(index: int) -> Tuple[str, str]:
+    """Deterministic (mac, ip) pair for the index-th host."""
+    return mac_from_int(0x0A0000000000 + index), ip_from_int((10 << 24) + index)
+
+
+def add_hosts(
+    network: Network,
+    dpid: int,
+    count: int,
+    prefix: str,
+    start_index: int,
+) -> List[str]:
+    """Attach ``count`` hosts to a switch, returning their names."""
+    names = []
+    for offset in range(count):
+        index = start_index + offset
+        mac, ip = _host_identity(index)
+        name = f"{prefix}{index}"
+        network.add_host(name, mac, ip)
+        network.attach_host(name, dpid, HOST_PORT_BASE + offset)
+        names.append(name)
+    return names
+
+
+def linear_topology(
+    n_switches: int = 3,
+    hosts_per_switch: int = 1,
+    sim: Optional[Simulator] = None,
+) -> TopologyInfo:
+    """S1 - S2 - ... - Sn with hosts hanging off each switch."""
+    network = Network(sim)
+    for dpid in range(1, n_switches + 1):
+        network.add_switch(dpid, name=f"s{dpid}")
+    for dpid in range(1, n_switches):
+        network.add_link(dpid, 2, dpid + 1, 1)
+    hosts: List[str] = []
+    index = 1
+    for dpid in range(1, n_switches + 1):
+        hosts.extend(add_hosts(network, dpid, hosts_per_switch, "h", index))
+        index += hosts_per_switch
+    return TopologyInfo(
+        network=network,
+        domains=[list(network.switches)],
+        roles={"hosts": hosts},
+    )
+
+
+def tree_topology(
+    depth: int = 2,
+    fanout: int = 2,
+    hosts_per_leaf: int = 1,
+    sim: Optional[Simulator] = None,
+) -> TopologyInfo:
+    """A rooted tree of switches with hosts on the leaves."""
+    network = Network(sim)
+    next_dpid = 1
+    root = next_dpid
+    network.add_switch(root, name=f"s{root}")
+    next_dpid += 1
+    frontier = [root]
+    leaves = [root] if depth == 0 else []
+    for level in range(depth):
+        new_frontier = []
+        for parent in frontier:
+            for child_idx in range(fanout):
+                child = next_dpid
+                next_dpid += 1
+                network.add_switch(child, name=f"s{child}")
+                network.add_link(parent, 10 + child_idx + len(new_frontier), child, 1)
+                new_frontier.append(child)
+        frontier = new_frontier
+        if level == depth - 1:
+            leaves = frontier
+    hosts: List[str] = []
+    index = 1
+    for leaf in leaves:
+        hosts.extend(add_hosts(network, leaf, hosts_per_leaf, "h", index))
+        index += hosts_per_leaf
+    return TopologyInfo(
+        network=network,
+        domains=[list(network.switches)],
+        roles={"hosts": hosts},
+    )
+
+
+def braga_topology(
+    hosts_per_switch: int = 4, sim: Optional[Simulator] = None
+) -> TopologyInfo:
+    """The environment of [10]: 3 switches in a triangle, one controller."""
+    network = Network(sim)
+    for dpid in (1, 2, 3):
+        network.add_switch(dpid, name=f"s{dpid}")
+    network.add_link(1, 2, 2, 1)
+    network.add_link(2, 2, 3, 1)
+    network.add_link(3, 2, 1, 1)
+    hosts: List[str] = []
+    index = 1
+    for dpid in (1, 2, 3):
+        hosts.extend(add_hosts(network, dpid, hosts_per_switch, "h", index))
+        index += hosts_per_switch
+    return TopologyInfo(
+        network=network,
+        domains=[[1, 2, 3]],
+        roles={"hosts": hosts},
+    )
+
+
+def enterprise_topology(
+    hosts_per_edge: int = 2, sim: Optional[Simulator] = None
+) -> TopologyInfo:
+    """The paper's Figure 7 environment.
+
+    Six physical core switches (dpids 1-6) in a full mesh (15 links), twelve
+    OVS edge switches (dpids 11-22) dual-homed to consecutive core switches
+    (24 links), and a ring of nine edge-to-edge cross-links (9 links) — 48
+    switch-to-switch links total, managed as three controller domains of six
+    switches each.
+    """
+    network = Network(sim)
+    core = list(range(1, 7))
+    edge = list(range(11, 23))
+    for dpid in core:
+        network.add_switch(dpid, name=f"core{dpid}", hardware=True)
+    for dpid in edge:
+        network.add_switch(dpid, name=f"edge{dpid}")
+
+    port_counter: Dict[int, int] = {dpid: 1 for dpid in core + edge}
+
+    def next_port(dpid: int) -> int:
+        port = port_counter[dpid]
+        port_counter[dpid] += 1
+        return port
+
+    links = 0
+    # Core full mesh: C(6,2) = 15 links.
+    for i, a in enumerate(core):
+        for b in core[i + 1 :]:
+            network.add_link(a, next_port(a), b, next_port(b))
+            links += 1
+    # Each edge switch dual-homed to two consecutive cores: 24 links.
+    for idx, dpid in enumerate(edge):
+        primary = core[idx % len(core)]
+        secondary = core[(idx + 1) % len(core)]
+        network.add_link(dpid, next_port(dpid), primary, next_port(primary))
+        network.add_link(dpid, next_port(dpid), secondary, next_port(secondary))
+        links += 2
+    # Edge ring cross-links between nine consecutive edge pairs: 9 links.
+    for idx in range(9):
+        a, b = edge[idx], edge[idx + 1]
+        network.add_link(a, next_port(a), b, next_port(b))
+        links += 1
+    assert links == 48, f"expected 48 switch links, built {links}"
+
+    hosts: List[str] = []
+    index = 1
+    for dpid in edge:
+        hosts.extend(add_hosts(network, dpid, hosts_per_edge, "h", index))
+        index += hosts_per_edge
+
+    # Three controller domains: two cores + four edges each (six switches).
+    domains = [
+        [core[0], core[1], *edge[0:4]],
+        [core[2], core[3], *edge[4:8]],
+        [core[4], core[5], *edge[8:12]],
+    ]
+    return TopologyInfo(
+        network=network,
+        domains=domains,
+        roles={"hosts": hosts},
+        landmarks={"core": core[0]},
+    )
+
+
+def nae_topology(
+    clients_per_edge: int = 2, sim: Optional[Simulator] = None
+) -> TopologyInfo:
+    """The Figure 8 environment for the NAE scenario.
+
+    Clients sit behind edge switches S1 and S5; the FTP and web servers sit
+    behind S4; traffic from the aggregation switch S2 may reach S4 either
+    via S3 (the path the load balancer can use) or via S6 → S7 (the path the
+    security app forces, S6 hosting the inline security device).
+    """
+    network = Network(sim)
+    for dpid in range(1, 8):
+        network.add_switch(dpid, name=f"s{dpid}")
+    wiring = [
+        (1, 2),  # S1 - S2 (edge to aggregation)
+        (5, 2),  # S5 - S2 (edge to aggregation)
+        (2, 3),  # S2 - S3 (alternate path)
+        (2, 6),  # S2 - S6 (security path)
+        (3, 4),  # S3 - S4 (alternate path to servers)
+        (6, 7),  # S6 - S7 (security device egress)
+        (7, 4),  # S7 - S4 (to servers)
+    ]
+    port_counter = {dpid: 1 for dpid in range(1, 8)}
+
+    def next_port(dpid: int) -> int:
+        port = port_counter[dpid]
+        port_counter[dpid] += 1
+        return port
+
+    for a, b in wiring:
+        network.add_link(a, next_port(a), b, next_port(b))
+
+    clients: List[str] = []
+    index = 1
+    for dpid in (1, 5):
+        clients.extend(add_hosts(network, dpid, clients_per_edge, "h", index))
+        index += clients_per_edge
+
+    # Servers behind S4: one FTP, one web.
+    ftp_mac, ftp_ip = _host_identity(900)
+    web_mac, web_ip = _host_identity(901)
+    network.add_host("ftp", ftp_mac, ftp_ip)
+    network.attach_host("ftp", 4, HOST_PORT_BASE)
+    network.add_host("web", web_mac, web_ip)
+    network.attach_host("web", 4, HOST_PORT_BASE + 1)
+    # The inline security device behind S6.
+    sec_mac, sec_ip = _host_identity(902)
+    network.add_host("secdev", sec_mac, sec_ip)
+    network.attach_host("secdev", 6, HOST_PORT_BASE)
+
+    return TopologyInfo(
+        network=network,
+        domains=[list(range(1, 8))],
+        roles={"clients": clients, "servers": ["ftp", "web"], "security": ["secdev"]},
+        landmarks={"security_switch": 6, "alternate_switch": 3, "server_switch": 4},
+    )

@@ -1,0 +1,30 @@
+"""A sharded, Mongo-like document store.
+
+Athena publishes every generated feature to a distributed database and the
+Feature Manager translates NB-API queries into database queries.  This
+package stands in for the paper's MongoDB 3.2 cluster: documents are dicts,
+filters use the ``$``-operator language, collections maintain hash indexes,
+and a router shards documents across nodes by a hash of the shard key.
+
+The store does *real* work per operation (copying, index maintenance,
+filter evaluation), which is what makes the Table IX result — most of
+Athena's overhead comes from DB operations — reproducible by measurement
+rather than by assumption.
+"""
+
+from repro.distdb.aggregation import aggregate
+from repro.distdb.collection import Collection
+from repro.distdb.cluster import DatabaseCluster
+from repro.distdb.columnstore import ColumnStoreCluster
+from repro.distdb.query import matches_filter, validate_filter
+from repro.distdb.shard import ShardNode
+
+__all__ = [
+    "aggregate",
+    "Collection",
+    "DatabaseCluster",
+    "ColumnStoreCluster",
+    "matches_filter",
+    "validate_filter",
+    "ShardNode",
+]

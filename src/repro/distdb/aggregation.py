@@ -1,0 +1,190 @@
+"""Aggregation pipelines.
+
+Implements the pipeline subset Athena's query options (sorting, aggregation,
+limiting — Table IV) compile to::
+
+    [{"$match": {...}},
+     {"$group": {"_id": "$switch_id", "total": {"$sum": "$packet_count"}}},
+     {"$sort": {"total": -1}},
+     {"$limit": 10},
+     {"$project": ["total"]}]
+
+Group accumulators: ``$sum $avg $min $max $count $first $last``.  Group keys
+and accumulator operands reference fields with a ``$`` prefix; ``_id`` may
+also be a dict of named ``$field`` references for compound keys.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.distdb.query import get_path, matches_filter, validate_filter
+from repro.errors import QueryError
+
+ACCUMULATORS = {"$sum", "$avg", "$min", "$max", "$count", "$first", "$last"}
+
+
+def _resolve(doc: Dict[str, Any], ref: Any) -> Any:
+    """Resolve a ``$field`` reference or pass a literal through."""
+    if isinstance(ref, str) and ref.startswith("$"):
+        return get_path(doc, ref[1:])
+    return ref
+
+
+def _group_key(doc: Dict[str, Any], id_spec: Any) -> Any:
+    if isinstance(id_spec, dict):
+        return tuple((name, _resolve(doc, ref)) for name, ref in sorted(id_spec.items()))
+    return _resolve(doc, id_spec)
+
+
+def _key_to_id(key: Any, id_spec: Any) -> Any:
+    if isinstance(id_spec, dict):
+        return dict(key)
+    return key
+
+
+class _Accumulator:
+    """Streaming accumulator for one output field of a $group."""
+
+    def __init__(self, op: str, operand: Any) -> None:
+        if op not in ACCUMULATORS:
+            raise QueryError(f"unknown accumulator {op!r}")
+        self.op = op
+        self.operand = operand
+        self.total = 0.0
+        self.count = 0
+        self.extreme: Any = None
+        self.first: Any = None
+        self.last: Any = None
+
+    def feed(self, doc: Dict[str, Any]) -> None:
+        value = _resolve(doc, self.operand)
+        if self.op == "$count":
+            self.count += 1
+            return
+        if value is None:
+            return
+        if self.count == 0:
+            self.first = value
+        self.last = value
+        self.count += 1
+        if self.op in ("$sum", "$avg"):
+            self.total += value
+        elif self.op == "$min":
+            self.extreme = value if self.extreme is None else min(self.extreme, value)
+        elif self.op == "$max":
+            self.extreme = value if self.extreme is None else max(self.extreme, value)
+
+    def result(self) -> Any:
+        if self.op == "$sum":
+            return self.total
+        if self.op == "$avg":
+            return self.total / self.count if self.count else None
+        if self.op == "$count":
+            return self.count
+        if self.op in ("$min", "$max"):
+            return self.extreme
+        if self.op == "$first":
+            return self.first
+        return self.last
+
+
+def _apply_group(docs: Iterable[Dict[str, Any]], spec: Dict[str, Any]) -> List[Dict[str, Any]]:
+    if "_id" not in spec:
+        raise QueryError("$group requires an _id")
+    id_spec = spec["_id"]
+    groups: "OrderedDict[Any, Dict[str, _Accumulator]]" = OrderedDict()
+    for doc in docs:
+        key = _group_key(doc, id_spec)
+        if key not in groups:
+            accumulators = {}
+            for out_field, acc_spec in spec.items():
+                if out_field == "_id":
+                    continue
+                if not isinstance(acc_spec, dict) or len(acc_spec) != 1:
+                    raise QueryError(f"bad accumulator spec for {out_field!r}")
+                (op, operand), = acc_spec.items()
+                accumulators[out_field] = _Accumulator(op, operand)
+            groups[key] = accumulators
+        for accumulator in groups[key].values():
+            accumulator.feed(doc)
+    results = []
+    for key, accumulators in groups.items():
+        row = {"_id": _key_to_id(key, id_spec)}
+        for out_field, accumulator in accumulators.items():
+            row[out_field] = accumulator.result()
+        results.append(row)
+    return results
+
+
+def aggregate(
+    docs: Iterable[Dict[str, Any]], pipeline: List[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Run an aggregation pipeline over an iterable of documents."""
+    current: List[Dict[str, Any]] = list(docs)
+    for stage in pipeline:
+        if not isinstance(stage, dict) or len(stage) != 1:
+            raise QueryError(f"each pipeline stage must be a single-key dict: {stage!r}")
+        (op, spec), = stage.items()
+        if op == "$match":
+            validate_filter(spec)
+            current = [doc for doc in current if matches_filter(doc, spec)]
+        elif op == "$group":
+            current = _apply_group(current, spec)
+        elif op == "$sort":
+            for field, direction in reversed(list(spec.items())):
+                current.sort(
+                    key=lambda d: (get_path(d, field) is None, get_path(d, field)),
+                    reverse=direction < 0,
+                )
+        elif op == "$limit":
+            current = current[: max(0, int(spec))]
+        elif op == "$skip":
+            current = current[max(0, int(spec)):]
+        elif op == "$project":
+            keep = set(spec) | {"_id"}
+            current = [
+                {k: v for k, v in doc.items() if k in keep} for doc in current
+            ]
+        else:
+            raise QueryError(f"unknown pipeline stage {op!r}")
+    return current
+
+
+def merge_grouped(
+    partials: List[List[Dict[str, Any]]], spec: Dict[str, Any]
+) -> List[Dict[str, Any]]:
+    """Merge per-shard $group outputs into a global result.
+
+    ``$avg`` cannot be merged from averages alone, so the router re-groups
+    from raw documents for pipelines containing ``$avg``; this helper only
+    handles the mergeable accumulators and is used for the common case.
+    """
+    merged: "OrderedDict[Any, Dict[str, Any]]" = OrderedDict()
+    for partial in partials:
+        for row in partial:
+            key = row["_id"] if not isinstance(row["_id"], dict) else tuple(
+                sorted(row["_id"].items())
+            )
+            if key not in merged:
+                merged[key] = dict(row)
+                continue
+            target = merged[key]
+            for out_field, acc_spec in spec.items():
+                if out_field == "_id":
+                    continue
+                (op, _), = acc_spec.items()
+                if op in ("$sum", "$count"):
+                    target[out_field] += row[out_field]
+                elif op == "$min":
+                    target[out_field] = min(target[out_field], row[out_field])
+                elif op == "$max":
+                    target[out_field] = max(target[out_field], row[out_field])
+                elif op == "$first":
+                    pass
+                elif op == "$last":
+                    target[out_field] = row[out_field]
+                else:
+                    raise QueryError(f"accumulator {op} is not shard-mergeable")
+    return list(merged.values())

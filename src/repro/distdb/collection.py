@@ -1,0 +1,171 @@
+"""A single-node document collection with hash indexes.
+
+Documents are plain dicts; inserting copies them and assigns an ``_id``.
+Equality lookups on indexed fields use the hash index; everything else scans.
+The collection also counts operations and approximate bytes handled, which
+the Cbench experiment uses to report where overhead went.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.distdb.query import (
+    equality_value,
+    filter_documents,
+    get_path,
+    matches_filter,
+    validate_filter,
+)
+from repro.errors import DatabaseError
+
+_id_counter = itertools.count(1)
+
+
+def approx_size(doc: Dict[str, Any]) -> int:
+    """Rough BSON-like size estimate used for byte accounting."""
+    size = 8
+    for key, value in doc.items():
+        size += len(key) + 2
+        if isinstance(value, str):
+            size += len(value) + 5
+        elif isinstance(value, (int, float, bool)) or value is None:
+            size += 9
+        elif isinstance(value, dict):
+            size += approx_size(value)
+        elif isinstance(value, (list, tuple)):
+            size += 5 + 9 * len(value)
+        else:
+            size += 16
+    return size
+
+
+class Collection:
+    """An in-memory document collection."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._docs: Dict[Any, Dict[str, Any]] = {}
+        self._indexes: Dict[str, Dict[Any, set]] = {}
+        # Operation accounting.
+        self.ops = defaultdict(int)
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    # -- indexing ----------------------------------------------------------
+
+    def create_index(self, field: str) -> None:
+        """Build (or rebuild) a hash index over ``field``."""
+        index: Dict[Any, set] = defaultdict(set)
+        for _id, doc in self._docs.items():
+            index[get_path(doc, field)].add(_id)
+        self._indexes[field] = index
+
+    def _index_add(self, doc: Dict[str, Any]) -> None:
+        for field, index in self._indexes.items():
+            index.setdefault(get_path(doc, field), set()).add(doc["_id"])
+
+    def _index_remove(self, doc: Dict[str, Any]) -> None:
+        for field, index in self._indexes.items():
+            bucket = index.get(get_path(doc, field))
+            if bucket is not None:
+                bucket.discard(doc["_id"])
+
+    # -- writes --------------------------------------------------------------
+
+    def insert_one(self, doc: Dict[str, Any]) -> Any:
+        if not isinstance(doc, dict):
+            raise DatabaseError("documents must be dicts")
+        stored = dict(doc)
+        if "_id" not in stored:
+            stored["_id"] = next(_id_counter)
+        if stored["_id"] in self._docs:
+            raise DatabaseError(f"duplicate _id {stored['_id']!r}")
+        self._docs[stored["_id"]] = stored
+        self._index_add(stored)
+        self.ops["insert"] += 1
+        self.bytes_written += approx_size(stored)
+        return stored["_id"]
+
+    def insert_many(self, docs: Iterable[Dict[str, Any]]) -> List[Any]:
+        return [self.insert_one(doc) for doc in docs]
+
+    def delete_many(self, filter_: Optional[Dict[str, Any]] = None) -> int:
+        validate_filter(filter_)
+        doomed = [doc["_id"] for doc in self._candidates(filter_) if matches_filter(doc, filter_)]
+        for _id in doomed:
+            doc = self._docs.pop(_id)
+            self._index_remove(doc)
+        self.ops["delete"] += 1
+        return len(doomed)
+
+    def update_many(
+        self, filter_: Optional[Dict[str, Any]], changes: Dict[str, Any]
+    ) -> int:
+        """Set top-level fields on every matching document."""
+        validate_filter(filter_)
+        touched = 0
+        for doc in list(self._candidates(filter_)):
+            if matches_filter(doc, filter_):
+                self._index_remove(doc)
+                doc.update(changes)
+                self._index_add(doc)
+                touched += 1
+        self.ops["update"] += 1
+        return touched
+
+    # -- reads -----------------------------------------------------------------
+
+    def _candidates(
+        self, filter_: Optional[Dict[str, Any]]
+    ) -> Iterable[Dict[str, Any]]:
+        """Use a hash index when the filter pins an indexed field."""
+        for field in self._indexes:
+            value = equality_value(filter_, field)
+            if value is not None:
+                ids = self._indexes[field].get(value, set())
+                return [self._docs[_id] for _id in ids if _id in self._docs]
+        return self._docs.values()
+
+    def find(
+        self,
+        filter_: Optional[Dict[str, Any]] = None,
+        sort: Optional[List[Tuple[str, int]]] = None,
+        limit: Optional[int] = None,
+        projection: Optional[List[str]] = None,
+    ) -> List[Dict[str, Any]]:
+        """Query the collection. ``sort`` is a list of (field, +1/-1)."""
+        validate_filter(filter_)
+        self.ops["find"] += 1
+        results = [
+            dict(doc) for doc in filter_documents(self._candidates(filter_), filter_)
+        ]
+        self.bytes_read += sum(approx_size(d) for d in results)
+        if sort:
+            for field, direction in reversed(sort):
+                results.sort(
+                    key=lambda d: (get_path(d, field) is None, get_path(d, field)),
+                    reverse=direction < 0,
+                )
+        if limit is not None:
+            results = results[: max(0, limit)]
+        if projection:
+            keep = set(projection) | {"_id"}
+            results = [{k: v for k, v in doc.items() if k in keep} for doc in results]
+        return results
+
+    def count(self, filter_: Optional[Dict[str, Any]] = None) -> int:
+        validate_filter(filter_)
+        self.ops["count"] += 1
+        return sum(
+            1 for _ in filter_documents(self._candidates(filter_), filter_)
+        )
+
+    def all_documents(self) -> List[Dict[str, Any]]:
+        """Snapshot of every stored document (aggregation input)."""
+        return list(self._docs.values())

@@ -1,0 +1,280 @@
+"""A Cassandra-style write-optimised store (the paper's proposed fix).
+
+Section VII-C: "the performance overhead of our system primarily originates
+from MongoDB related operations.  To boost Athena's performance, we will
+consider replacing MongoDB with a high-performance database like
+Cassandra."  This module implements that future-work item: a wide-column,
+log-structured store whose write path is an append — no secondary-index
+maintenance, no per-document wire encoding, replication via cheap buffered
+batches — at the cost of scan-based reads.
+
+The public surface duck-types :class:`~repro.distdb.cluster.DatabaseCluster`
+(insert/find/count/delete/aggregate/create_index), so
+:class:`~repro.core.feature_manager.FeatureManager` and the Cbench harness
+can swap backends; ``bench_cassandra_backend`` measures the resulting
+Table IX improvement.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.distdb.aggregation import aggregate as _aggregate
+from repro.distdb.query import filter_documents, get_path, validate_filter
+from repro.errors import DatabaseError
+
+
+def _hash_value(value: Any) -> int:
+    digest = hashlib.md5(repr(value).encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+class _ColumnFamily:
+    """One table on one node: a memtable plus flushed sstables."""
+
+    def __init__(self, flush_threshold: int = 4096) -> None:
+        self.flush_threshold = flush_threshold
+        self.memtable: List[Dict[str, Any]] = []
+        self.sstables: List[List[Dict[str, Any]]] = []
+        self.writes = 0
+        self.flushes = 0
+
+    def append(self, doc: Dict[str, Any]) -> None:
+        # The write path is just an append; cheapness is the point.
+        self.memtable.append(doc)
+        self.writes += 1
+        if len(self.memtable) >= self.flush_threshold:
+            self.flush()
+
+    def flush(self) -> None:
+        if self.memtable:
+            self.sstables.append(self.memtable)
+            self.memtable = []
+            self.flushes += 1
+
+    def scan(self):
+        for sstable in self.sstables:
+            yield from sstable
+        yield from self.memtable
+
+    def compact(self) -> int:
+        """Merge all sstables into one; returns tables merged."""
+        merged_count = len(self.sstables)
+        if merged_count > 1:
+            merged: List[Dict[str, Any]] = []
+            for sstable in self.sstables:
+                merged.extend(sstable)
+            self.sstables = [merged]
+        return merged_count
+
+    def rewrite(self, docs: List[Dict[str, Any]]) -> None:
+        """Replace all contents (the delete path rewrites segments)."""
+        self.sstables = [docs] if docs else []
+        self.memtable = []
+
+    def __len__(self) -> int:
+        return len(self.memtable) + sum(len(s) for s in self.sstables)
+
+
+class _ColumnNode:
+    """One storage node."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.families: Dict[str, _ColumnFamily] = {}
+        self.up = True
+
+    def family(self, name: str) -> _ColumnFamily:
+        if name not in self.families:
+            self.families[name] = _ColumnFamily()
+        return self.families[name]
+
+    def has_family(self, name: str) -> bool:
+        return name in self.families
+
+
+class ColumnStoreCluster:
+    """A sharded, replicated, write-optimised document store."""
+
+    def __init__(
+        self,
+        n_nodes: int = 3,
+        partition_key: str = "switch_id",
+        replication: int = 2,
+    ) -> None:
+        if n_nodes < 1:
+            raise DatabaseError("cluster needs at least one node")
+        self.nodes = [_ColumnNode(i) for i in range(n_nodes)]
+        self.partition_key = partition_key
+        self.replication = min(max(1, replication), n_nodes)
+        self._id_counter = 0
+        self.writes = 0
+
+    # -- routing -----------------------------------------------------------
+
+    def _replica_nodes(self, key_value: Any) -> List[_ColumnNode]:
+        start = _hash_value(key_value) % len(self.nodes)
+        return [
+            self.nodes[(start + offset) % len(self.nodes)]
+            for offset in range(self.replication)
+        ]
+
+    def _live_nodes(self) -> List[_ColumnNode]:
+        live = [n for n in self.nodes if n.up]
+        if not live:
+            raise DatabaseError("all column-store nodes are down")
+        return live
+
+    # -- writes ----------------------------------------------------------------
+
+    def insert_one(self, collection: str, doc: Dict[str, Any]) -> Any:
+        stored = dict(doc)
+        if "_id" not in stored:
+            self._id_counter += 1
+            stored["_id"] = self._id_counter
+        key_value = stored.get(self.partition_key, stored["_id"])
+        primary, *replicas = self._replica_nodes(key_value)
+        primary.family(collection).append(stored)
+        for replica in replicas:
+            if replica.up:
+                # Replicas share the stored dict: the replication cost is a
+                # pointer append (hinted-handoff style), not a deep copy.
+                replica.family(collection + "__replica").append(stored)
+        self.writes += 1
+        return stored["_id"]
+
+    def insert_many(self, collection: str, docs: List[Dict[str, Any]]) -> int:
+        for doc in docs:
+            self.insert_one(collection, doc)
+        return len(docs)
+
+    def delete_many(self, collection: str, filter_: Optional[Dict[str, Any]] = None) -> int:
+        validate_filter(filter_)
+        removed = 0
+        for name in (collection, collection + "__replica"):
+            for node in self._live_nodes():
+                if not node.has_family(name):
+                    continue
+                family = node.family(name)
+                kept = [
+                    doc
+                    for doc in family.scan()
+                    if not _matches(doc, filter_)
+                ]
+                if name == collection:
+                    removed += len(family) - len(kept)
+                family.rewrite(kept)
+        return removed
+
+    def update_many(
+        self, collection: str, filter_: Optional[Dict[str, Any]], changes: Dict[str, Any]
+    ) -> int:
+        validate_filter(filter_)
+        touched = 0
+        for node in self._live_nodes():
+            if not node.has_family(collection):
+                continue
+            for doc in node.family(collection).scan():
+                if _matches(doc, filter_):
+                    doc.update(changes)
+                    touched += 1
+        return touched
+
+    # -- reads --------------------------------------------------------------------
+
+    def find(
+        self,
+        collection: str,
+        filter_: Optional[Dict[str, Any]] = None,
+        sort: Optional[List[Tuple[str, int]]] = None,
+        limit: Optional[int] = None,
+        projection: Optional[List[str]] = None,
+    ) -> List[Dict[str, Any]]:
+        validate_filter(filter_)
+        results: List[Dict[str, Any]] = []
+        for node in self._live_nodes():
+            if node.has_family(collection):
+                results.extend(
+                    dict(doc)
+                    for doc in filter_documents(
+                        node.family(collection).scan(), filter_
+                    )
+                )
+        if sort:
+            for field, direction in reversed(sort):
+                results.sort(
+                    key=lambda d: (get_path(d, field) is None, get_path(d, field)),
+                    reverse=direction < 0,
+                )
+        if limit is not None:
+            results = results[: max(0, limit)]
+        if projection:
+            keep = set(projection) | {"_id"}
+            results = [
+                {k: v for k, v in doc.items() if k in keep} for doc in results
+            ]
+        return results
+
+    def count(self, collection: str, filter_: Optional[Dict[str, Any]] = None) -> int:
+        validate_filter(filter_)
+        return sum(
+            1
+            for node in self._live_nodes()
+            if node.has_family(collection)
+            for _doc in filter_documents(node.family(collection).scan(), filter_)
+        )
+
+    def aggregate(
+        self, collection: str, pipeline: List[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        docs = [
+            doc
+            for node in self._live_nodes()
+            if node.has_family(collection)
+            for doc in node.family(collection).scan()
+        ]
+        return _aggregate(docs, pipeline)
+
+    # -- administration ----------------------------------------------------------------
+
+    def create_index(self, collection: str, field: str) -> None:
+        """No-op: the write-optimised store has no secondary indexes."""
+
+    def document_count(self) -> int:
+        return sum(
+            len(family)
+            for node in self.nodes
+            for name, family in node.families.items()
+            if not name.endswith("__replica")
+        )
+
+    def compact_all(self) -> int:
+        """Run compaction everywhere; returns segments merged."""
+        return sum(
+            family.compact()
+            for node in self.nodes
+            for family in node.families.values()
+        )
+
+    def fail_node(self, node_id: int) -> None:
+        self.nodes[node_id].up = False
+
+    def recover_node(self, node_id: int) -> None:
+        self.nodes[node_id].up = True
+
+    def op_stats(self) -> Dict[str, Any]:
+        return {
+            "writes": self.writes,
+            "flushes": sum(
+                family.flushes
+                for node in self.nodes
+                for family in node.families.values()
+            ),
+        }
+
+
+def _matches(doc: Dict[str, Any], filter_: Optional[Dict[str, Any]]) -> bool:
+    from repro.distdb.query import matches_filter
+
+    return matches_filter(doc, filter_)

@@ -1,0 +1,144 @@
+"""The filter language of the document store.
+
+A filter is a dict in the MongoDB style::
+
+    {"switch_id": 3}                          # equality
+    {"packet_count": {"$gt": 100, "$lte": 500}}
+    {"$or": [{"proto": 6}, {"proto": 17}]}
+    {"meta.app_id": "fwd"}                    # dotted path into sub-documents
+
+Supported comparison operators: ``$eq $ne $gt $gte $lt $lte $in $nin
+$exists``; logical: ``$and $or $nor $not``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional
+
+from repro.errors import QueryError
+
+COMPARISON_OPS = {"$eq", "$ne", "$gt", "$gte", "$lt", "$lte", "$in", "$nin", "$exists"}
+LOGICAL_OPS = {"$and", "$or", "$nor"}
+
+
+def get_path(doc: Dict[str, Any], path: str) -> Any:
+    """Resolve a dotted path inside a document; missing keys give ``None``."""
+    current: Any = doc
+    for part in path.split("."):
+        if not isinstance(current, dict):
+            return None
+        current = current.get(part)
+    return current
+
+
+def _compare(value: Any, op: str, operand: Any) -> bool:
+    if op == "$eq":
+        return value == operand
+    if op == "$ne":
+        return value != operand
+    if op == "$exists":
+        return (value is not None) == bool(operand)
+    if op == "$in":
+        return value in operand
+    if op == "$nin":
+        return value not in operand
+    # Ordered comparisons never match missing or cross-type values.
+    if value is None:
+        return False
+    try:
+        if op == "$gt":
+            return value > operand
+        if op == "$gte":
+            return value >= operand
+        if op == "$lt":
+            return value < operand
+        if op == "$lte":
+            return value <= operand
+    except TypeError:
+        return False
+    raise QueryError(f"unknown comparison operator {op!r}")
+
+
+def matches_filter(doc: Dict[str, Any], filter_: Optional[Dict[str, Any]]) -> bool:
+    """Evaluate ``filter_`` against ``doc``."""
+    if not filter_:
+        return True
+    for key, condition in filter_.items():
+        if key == "$and":
+            if not all(matches_filter(doc, sub) for sub in condition):
+                return False
+        elif key == "$or":
+            if not any(matches_filter(doc, sub) for sub in condition):
+                return False
+        elif key == "$nor":
+            if any(matches_filter(doc, sub) for sub in condition):
+                return False
+        elif key.startswith("$"):
+            raise QueryError(f"unknown top-level operator {key!r}")
+        else:
+            value = get_path(doc, key)
+            if isinstance(condition, dict) and any(
+                k.startswith("$") for k in condition
+            ):
+                for op, operand in condition.items():
+                    if op == "$not":
+                        if matches_filter(doc, {key: operand}):
+                            return False
+                        continue
+                    if op not in COMPARISON_OPS:
+                        raise QueryError(f"unknown operator {op!r}")
+                    if not _compare(value, op, operand):
+                        return False
+            else:
+                if value != condition:
+                    return False
+    return True
+
+
+def validate_filter(filter_: Optional[Dict[str, Any]]) -> None:
+    """Raise :class:`QueryError` on any malformed construct in ``filter_``."""
+    if filter_ is None:
+        return
+    if not isinstance(filter_, dict):
+        raise QueryError(f"filter must be a dict, got {type(filter_).__name__}")
+    for key, condition in filter_.items():
+        if key in LOGICAL_OPS:
+            if not isinstance(condition, (list, tuple)):
+                raise QueryError(f"{key} expects a list of sub-filters")
+            for sub in condition:
+                validate_filter(sub)
+        elif key.startswith("$"):
+            raise QueryError(f"unknown top-level operator {key!r}")
+        elif isinstance(condition, dict) and any(
+            k.startswith("$") for k in condition
+        ):
+            for op, operand in condition.items():
+                if op == "$not":
+                    validate_filter({key: operand})
+                elif op not in COMPARISON_OPS:
+                    raise QueryError(f"unknown operator {op!r}")
+                elif op in ("$in", "$nin") and not isinstance(
+                    operand, (list, tuple, set)
+                ):
+                    raise QueryError(f"{op} expects a sequence")
+
+
+def equality_value(filter_: Optional[Dict[str, Any]], field: str) -> Optional[Any]:
+    """If the filter pins ``field`` to one value, return it (shard routing)."""
+    if not filter_:
+        return None
+    condition = filter_.get(field)
+    if condition is None:
+        return None
+    if isinstance(condition, dict):
+        return condition.get("$eq")
+    return condition
+
+
+def filter_documents(
+    docs: Iterable[Dict[str, Any]], filter_: Optional[Dict[str, Any]]
+) -> Iterable[Dict[str, Any]]:
+    """Lazily yield the documents matching ``filter_``."""
+    for doc in docs:
+        if matches_filter(doc, filter_):
+            yield doc

@@ -1,0 +1,45 @@
+"""A shard node: one storage server in the database cluster."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.distdb.collection import Collection
+from repro.errors import DatabaseError
+
+
+class ShardNode:
+    """One database node holding a subset of every collection."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self._collections: Dict[str, Collection] = {}
+        self.up = True
+
+    def collection(self, name: str) -> Collection:
+        if name not in self._collections:
+            self._collections[name] = Collection(f"{name}@shard{self.node_id}")
+        return self._collections[name]
+
+    def has_collection(self, name: str) -> bool:
+        return name in self._collections
+
+    def collection_names(self) -> List[str]:
+        return sorted(self._collections)
+
+    def document_count(self) -> int:
+        return sum(len(c) for c in self._collections.values())
+
+    def ensure_up(self) -> None:
+        if not self.up:
+            raise DatabaseError(f"shard {self.node_id} is down")
+
+    def op_stats(self) -> Dict[str, Any]:
+        """Aggregate op counters across this node's collections."""
+        totals: Dict[str, Any] = {"bytes_written": 0, "bytes_read": 0}
+        for coll in self._collections.values():
+            totals["bytes_written"] += coll.bytes_written
+            totals["bytes_read"] += coll.bytes_read
+            for op, count in coll.ops.items():
+                totals[op] = totals.get(op, 0) + count
+        return totals

@@ -1,0 +1,55 @@
+"""Exception hierarchy shared by every subsystem in the reproduction.
+
+Keeping the hierarchy in one module lets callers catch either a precise
+failure (``QueryError``) or anything raised by the stack (``ReproError``).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was used incorrectly (e.g. past-time event)."""
+
+
+class OpenFlowError(ReproError):
+    """Malformed OpenFlow message, match, or action."""
+
+
+class DataPlaneError(ReproError):
+    """Invalid data-plane operation (unknown port, duplicate link, ...)."""
+
+
+class ControllerError(ReproError):
+    """Controller-side failure (unknown switch, mastership violation, ...)."""
+
+
+class DatabaseError(ReproError):
+    """Distributed document-store failure."""
+
+
+class QueryError(DatabaseError):
+    """A query document or Athena query string could not be interpreted."""
+
+
+class ComputeError(ReproError):
+    """Compute-cluster job submission or execution failure."""
+
+
+class MLError(ReproError):
+    """Machine-learning configuration or fitting failure."""
+
+
+class AthenaError(ReproError):
+    """Athena framework misuse (bad NB API parameters, unknown feature, ...)."""
+
+
+class FeatureError(AthenaError):
+    """An unknown or malformed Athena feature was requested."""
+
+
+class ReactionError(AthenaError):
+    """A mitigation action could not be enforced on the data plane."""

@@ -1,0 +1,95 @@
+"""Machine-learning library (the MLlib stand-in).
+
+Implements every algorithm Athena's Detector Manager exposes (Table IV):
+
+* Boosting — :class:`~repro.ml.gbt.GradientBoostedTrees`
+* Classification — :class:`~repro.ml.tree.DecisionTreeClassifier`,
+  :class:`~repro.ml.logistic.LogisticRegression`,
+  :class:`~repro.ml.naive_bayes.GaussianNaiveBayes`,
+  :class:`~repro.ml.forest.RandomForestClassifier`,
+  :class:`~repro.ml.svm.LinearSVM`
+* Clustering — :class:`~repro.ml.gaussian_mixture.GaussianMixture`,
+  :class:`~repro.ml.kmeans.KMeans`
+* Regression — :class:`~repro.ml.linear.LassoRegression`,
+  :class:`~repro.ml.linear.LinearRegression`,
+  :class:`~repro.ml.linear.RidgeRegression`
+* Simple — :class:`~repro.ml.threshold.ThresholdDetector`
+
+plus :class:`~repro.ml.som.SelfOrganizingMap` (the detector of Braga et
+al. [10], used as a baseline) and the preprocessing operators of Table IV
+(weighting, sampling, normalization, marking).
+"""
+
+from repro.ml.base import ClusteringModel, Estimator, Model
+from repro.ml.evaluation import (
+    auc_score,
+    cross_validate,
+    operating_point,
+    roc_curve,
+    train_test_split,
+)
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.gaussian_mixture import GaussianMixture
+from repro.ml.gbt import GradientBoostedTrees
+from repro.ml.kmeans import KMeans
+from repro.ml.linear import LassoRegression, LinearRegression, RidgeRegression
+from repro.ml.logistic import LogisticRegression
+from repro.ml.metrics import (
+    accuracy,
+    confusion_counts,
+    detection_rate,
+    f1_score,
+    false_alarm_rate,
+    precision,
+    recall,
+)
+from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.ml.preprocessing import (
+    MinMaxNormalizer,
+    Sampler,
+    StandardScaler,
+    Weighter,
+)
+from repro.ml.registry import create_algorithm, list_algorithms
+from repro.ml.som import SelfOrganizingMap
+from repro.ml.svm import LinearSVM
+from repro.ml.threshold import ThresholdDetector
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = [
+    "ClusteringModel",
+    "Estimator",
+    "Model",
+    "auc_score",
+    "cross_validate",
+    "operating_point",
+    "roc_curve",
+    "train_test_split",
+    "RandomForestClassifier",
+    "GaussianMixture",
+    "GradientBoostedTrees",
+    "KMeans",
+    "LassoRegression",
+    "LinearRegression",
+    "RidgeRegression",
+    "LogisticRegression",
+    "accuracy",
+    "confusion_counts",
+    "detection_rate",
+    "f1_score",
+    "false_alarm_rate",
+    "precision",
+    "recall",
+    "GaussianNaiveBayes",
+    "MinMaxNormalizer",
+    "Sampler",
+    "StandardScaler",
+    "Weighter",
+    "create_algorithm",
+    "list_algorithms",
+    "SelfOrganizingMap",
+    "LinearSVM",
+    "ThresholdDetector",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+]

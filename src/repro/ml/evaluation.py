@@ -1,0 +1,165 @@
+"""Model evaluation utilities: splits, cross-validation, ROC analysis.
+
+The Detector Manager validates models against held-out windows; these
+helpers support the workflows around that — stratified splitting, k-fold
+cross-validation of any registry algorithm, and threshold-free quality via
+ROC curves / AUC over decision scores — plus an operating-point search that
+picks the score threshold meeting a false-alarm budget (how an operator
+would tune the paper's detectors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.ml.base import Estimator, as_matrix, as_vector
+from repro.ml.metrics import accuracy, detection_rate, false_alarm_rate
+
+
+def train_test_split(
+    X,
+    y,
+    test_fraction: float = 0.5,
+    seed: int = 0,
+    stratify: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle-split into train/test, optionally preserving class balance."""
+    if not 0 < test_fraction < 1:
+        raise MLError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    X = as_matrix(X)
+    y = as_vector(y, X.shape[0])
+    rng = np.random.default_rng(seed)
+    if stratify:
+        test_idx: List[int] = []
+        for cls in np.unique(y):
+            members = np.nonzero(y == cls)[0]
+            rng.shuffle(members)
+            n_test = max(1, int(round(len(members) * test_fraction)))
+            test_idx.extend(members[:n_test])
+        test_mask = np.zeros(len(y), dtype=bool)
+        test_mask[test_idx] = True
+    else:
+        order = rng.permutation(len(y))
+        n_test = max(1, int(round(len(y) * test_fraction)))
+        test_mask = np.zeros(len(y), dtype=bool)
+        test_mask[order[:n_test]] = True
+    return X[~test_mask], y[~test_mask], X[test_mask], y[test_mask]
+
+
+@dataclass
+class CrossValidationResult:
+    """Per-fold and aggregate metrics."""
+
+    fold_scores: List[Dict[str, float]]
+
+    def mean(self, metric: str) -> float:
+        return float(np.mean([fold[metric] for fold in self.fold_scores]))
+
+    def std(self, metric: str) -> float:
+        return float(np.std([fold[metric] for fold in self.fold_scores]))
+
+
+def k_fold_indices(n_rows: int, k: int, seed: int = 0) -> List[np.ndarray]:
+    """Shuffled fold index arrays covering every row exactly once."""
+    if k < 2:
+        raise MLError(f"k must be >= 2, got {k}")
+    if k > n_rows:
+        raise MLError(f"k={k} exceeds the {n_rows} available rows")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n_rows)
+    return [fold for fold in np.array_split(order, k)]
+
+
+def cross_validate(
+    make_estimator: Callable[[], Estimator],
+    X,
+    y,
+    k: int = 5,
+    seed: int = 0,
+    needs_cluster_labelling: bool = False,
+) -> CrossValidationResult:
+    """K-fold cross-validation of a supervised (or marked-cluster) model."""
+    X = as_matrix(X)
+    y = as_vector(y, X.shape[0])
+    folds = k_fold_indices(X.shape[0], k, seed)
+    scores: List[Dict[str, float]] = []
+    for fold_idx, test_idx in enumerate(folds):
+        train_mask = np.ones(X.shape[0], dtype=bool)
+        train_mask[test_idx] = False
+        estimator = make_estimator()
+        if needs_cluster_labelling:
+            estimator.fit(X[train_mask])
+            estimator.label_clusters(X[train_mask], y[train_mask])
+        else:
+            estimator.fit(X[train_mask], y[train_mask])
+        predictions = estimator.predict(X[test_idx])
+        scores.append(
+            {
+                "fold": float(fold_idx),
+                "accuracy": accuracy(y[test_idx], predictions),
+                "detection_rate": detection_rate(y[test_idx], predictions),
+                "false_alarm_rate": false_alarm_rate(y[test_idx], predictions),
+            }
+        )
+    return CrossValidationResult(fold_scores=scores)
+
+
+def roc_curve(
+    y_true, scores
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(false-positive rates, true-positive rates, thresholds), score-sorted.
+
+    Thresholds descend; a point (fpr[i], tpr[i]) is achieved by flagging
+    every row with score >= thresholds[i].
+    """
+    y_true = as_vector(y_true)
+    scores = as_vector(scores, len(y_true))
+    positives = float((y_true == 1).sum())
+    negatives = float((y_true == 0).sum())
+    if positives == 0 or negatives == 0:
+        raise MLError("ROC needs both classes present")
+    order = np.argsort(-scores, kind="stable")
+    sorted_scores = scores[order]
+    sorted_labels = y_true[order]
+    tp_cum = np.cumsum(sorted_labels == 1)
+    fp_cum = np.cumsum(sorted_labels == 0)
+    # Keep the last index of each distinct score (threshold boundaries).
+    boundaries = np.nonzero(
+        np.append(sorted_scores[1:] != sorted_scores[:-1], True)
+    )[0]
+    tpr = np.concatenate([[0.0], tp_cum[boundaries] / positives])
+    fpr = np.concatenate([[0.0], fp_cum[boundaries] / negatives])
+    thresholds = np.concatenate([[np.inf], sorted_scores[boundaries]])
+    return fpr, tpr, thresholds
+
+
+def auc_score(y_true, scores) -> float:
+    """Area under the ROC curve (trapezoidal)."""
+    fpr, tpr, _ = roc_curve(y_true, scores)
+    widths = np.diff(fpr)
+    heights = (tpr[1:] + tpr[:-1]) / 2.0
+    return float((widths * heights).sum())
+
+
+def operating_point(
+    y_true,
+    scores,
+    max_false_alarm_rate: float,
+) -> Tuple[float, float, float]:
+    """The score threshold maximising DR subject to a FAR budget.
+
+    Returns (threshold, detection_rate, false_alarm_rate) of the chosen
+    point; raises if no threshold satisfies the budget.
+    """
+    fpr, tpr, thresholds = roc_curve(y_true, scores)
+    feasible = np.nonzero(fpr <= max_false_alarm_rate)[0]
+    if len(feasible) == 0:
+        raise MLError(
+            f"no operating point with FAR <= {max_false_alarm_rate}"
+        )
+    best = feasible[np.argmax(tpr[feasible])]
+    return float(thresholds[best]), float(tpr[best]), float(fpr[best])

@@ -1,0 +1,71 @@
+"""Random forest classification.
+
+Bootstrap-aggregated CART trees with random feature subspaces; prediction
+averages the trees' leaf probabilities.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.ml.base import Estimator, as_matrix, as_vector
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier(Estimator):
+    """An ensemble of bootstrapped decision trees."""
+
+    def __init__(
+        self,
+        n_trees: int = 20,
+        max_depth: int = 8,
+        min_samples_leaf: int = 1,
+        max_features: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        if n_trees < 1:
+            raise MLError(f"n_trees must be positive, got {n_trees}")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.trees: Optional[List[DecisionTreeClassifier]] = None
+
+    def fit(self, X, y=None) -> "RandomForestClassifier":
+        if y is None:
+            raise MLError("RandomForestClassifier requires labels")
+        X = as_matrix(X)
+        y = as_vector(y, X.shape[0])
+        n, d = X.shape
+        max_features = self.max_features or max(1, int(np.sqrt(d)))
+        rng = np.random.default_rng(self.seed)
+        self.trees = []
+        for tree_idx in range(self.n_trees):
+            indices = rng.integers(0, n, size=n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                seed=self.seed + tree_idx + 1,
+            )
+            tree.fit(X[indices], y[indices])
+            self.trees.append(tree)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._require_fitted("trees")
+        X = as_matrix(X)
+        votes = np.zeros(X.shape[0])
+        for tree in self.trees:
+            votes += tree.predict_proba(X)
+        return votes / len(self.trees)
+
+    def predict(self, X) -> np.ndarray:
+        return (self.predict_proba(X) >= 0.5).astype(float)
+
+    def decision_scores(self, X) -> np.ndarray:
+        return self.predict_proba(X)

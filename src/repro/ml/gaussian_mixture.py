@@ -1,0 +1,109 @@
+"""Gaussian mixture models fitted by expectation-maximisation.
+
+Diagonal covariances keep the implementation robust on the scaled feature
+matrices Athena produces, and make each EM step a pair of vectorised
+passes.  Inherits the marked-cluster labelling scheme from
+:class:`~repro.ml.base.ClusteringModel`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.ml.base import ClusteringModel, as_matrix
+
+_MIN_VARIANCE = 1e-6
+
+
+class GaussianMixture(ClusteringModel):
+    """Diagonal-covariance GMM via EM with k-means-style seeding."""
+
+    def __init__(
+        self,
+        k: int = 2,
+        max_iterations: int = 100,
+        tolerance: float = 1e-4,
+        seed: int = 0,
+        malicious_threshold: float = 0.5,
+    ) -> None:
+        super().__init__(malicious_threshold)
+        if k < 1:
+            raise MLError(f"k must be positive, got {k}")
+        self.k = k
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.seed = seed
+        self.means: Optional[np.ndarray] = None
+        self.variances: Optional[np.ndarray] = None
+        self.weights: Optional[np.ndarray] = None
+        self.log_likelihood: Optional[float] = None
+        self.iterations_run = 0
+
+    def _log_prob(self, X: np.ndarray) -> np.ndarray:
+        """(n, k) log density of each row under each component."""
+        n, d = X.shape
+        log_probs = np.empty((n, self.means.shape[0]))
+        for j in range(self.means.shape[0]):
+            var = self.variances[j]
+            diff = X - self.means[j]
+            log_probs[:, j] = (
+                -0.5 * (np.log(2 * np.pi * var).sum() + ((diff ** 2) / var).sum(axis=1))
+            )
+        return log_probs + np.log(self.weights)
+
+    def fit(self, X, y=None) -> "GaussianMixture":
+        X = as_matrix(X)
+        n, d = X.shape
+        if n == 0:
+            raise MLError("cannot fit GaussianMixture on an empty dataset")
+        k = min(self.k, n)
+        rng = np.random.default_rng(self.seed)
+        # Seed means from distinct random rows; variances from global spread.
+        self.means = X[rng.choice(n, size=k, replace=False)].astype(float)
+        global_var = X.var(axis=0) + _MIN_VARIANCE
+        self.variances = np.tile(global_var, (k, 1))
+        self.weights = np.full(k, 1.0 / k)
+        previous_ll = -np.inf
+        for iteration in range(self.max_iterations):
+            self.iterations_run = iteration + 1
+            # E-step.
+            log_probs = self._log_prob(X)
+            max_log = log_probs.max(axis=1, keepdims=True)
+            probs = np.exp(log_probs - max_log)
+            totals = probs.sum(axis=1, keepdims=True)
+            responsibilities = probs / totals
+            log_likelihood = float((np.log(totals).ravel() + max_log.ravel()).sum())
+            # M-step.
+            weights = responsibilities.sum(axis=0)
+            safe = np.maximum(weights, 1e-12)
+            self.means = (responsibilities.T @ X) / safe[:, None]
+            for j in range(k):
+                diff = X - self.means[j]
+                self.variances[j] = (
+                    (responsibilities[:, j][:, None] * diff ** 2).sum(axis=0) / safe[j]
+                ) + _MIN_VARIANCE
+            self.weights = weights / n
+            if abs(log_likelihood - previous_ll) < self.tolerance * max(
+                1.0, abs(previous_ll)
+            ):
+                previous_ll = log_likelihood
+                break
+            previous_ll = log_likelihood
+        self.log_likelihood = previous_ll
+        return self
+
+    def assign(self, X) -> np.ndarray:
+        self._require_fitted("means")
+        return np.argmax(self._log_prob(as_matrix(X)), axis=1)
+
+    def n_clusters_fitted(self) -> int:
+        self._require_fitted("means")
+        return self.means.shape[0]
+
+    def decision_scores(self, X) -> np.ndarray:
+        """Negative max log-density: higher means more anomalous."""
+        self._require_fitted("means")
+        return -np.max(self._log_prob(as_matrix(X)), axis=1)

@@ -1,0 +1,76 @@
+"""Gradient boosted trees for binary classification.
+
+Standard logistic-loss boosting: shallow regression trees fit the negative
+gradient (residual between label and current probability) and their outputs
+are added with a shrinkage factor.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.ml.base import Estimator, as_matrix, as_vector
+from repro.ml.logistic import _sigmoid
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class GradientBoostedTrees(Estimator):
+    """Logistic-loss gradient boosting with shallow CART regressors."""
+
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        learning_rate: float = 0.2,
+        max_depth: int = 3,
+        min_samples_leaf: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if n_estimators < 1:
+            raise MLError(f"n_estimators must be positive, got {n_estimators}")
+        if not 0 < learning_rate <= 1:
+            raise MLError(f"learning_rate must be in (0, 1], got {learning_rate}")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.seed = seed
+        self.trees: Optional[List[DecisionTreeRegressor]] = None
+        self.initial_score: float = 0.0
+
+    def fit(self, X, y=None) -> "GradientBoostedTrees":
+        if y is None:
+            raise MLError("GradientBoostedTrees requires 0/1 labels")
+        X = as_matrix(X)
+        y = as_vector(y, X.shape[0])
+        if not np.isin(np.unique(y), (0.0, 1.0)).all():
+            raise MLError("GradientBoostedTrees labels must be 0/1")
+        positive = np.clip(y.mean(), 1e-6, 1 - 1e-6)
+        self.initial_score = float(np.log(positive / (1 - positive)))
+        scores = np.full(X.shape[0], self.initial_score)
+        self.trees = []
+        for tree_idx in range(self.n_estimators):
+            residuals = y - _sigmoid(scores)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                seed=self.seed + tree_idx + 1,
+            )
+            tree.fit(X, residuals)
+            update = tree.predict(X)
+            scores += self.learning_rate * update
+            self.trees.append(tree)
+        return self
+
+    def decision_scores(self, X) -> np.ndarray:
+        self._require_fitted("trees")
+        X = as_matrix(X)
+        scores = np.full(X.shape[0], self.initial_score)
+        for tree in self.trees:
+            scores += self.learning_rate * tree.predict(X)
+        return _sigmoid(scores)
+
+    def predict(self, X) -> np.ndarray:
+        return (self.decision_scores(X) >= 0.5).astype(float)

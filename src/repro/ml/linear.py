@@ -1,0 +1,131 @@
+"""Linear-family regressors: ordinary least squares, Ridge, and Lasso.
+
+OLS and Ridge solve their normal equations directly; Lasso uses cyclic
+coordinate descent with soft-thresholding.  All three standardise nothing
+themselves — Athena's preprocessor owns scaling — but they do fit an
+intercept by centring.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.ml.base import Estimator, as_matrix, as_vector
+
+
+class LinearRegression(Estimator):
+    """Ordinary least squares via the pseudo-inverse."""
+
+    def __init__(self) -> None:
+        self.coefficients: Optional[np.ndarray] = None
+        self.intercept: float = 0.0
+
+    def fit(self, X, y=None) -> "LinearRegression":
+        if y is None:
+            raise MLError("LinearRegression requires targets")
+        X = as_matrix(X)
+        y = as_vector(y, X.shape[0])
+        x_mean = X.mean(axis=0)
+        y_mean = y.mean()
+        self.coefficients, *_ = np.linalg.lstsq(X - x_mean, y - y_mean, rcond=None)
+        self.intercept = float(y_mean - x_mean @ self.coefficients)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._require_fitted("coefficients")
+        return as_matrix(X) @ self.coefficients + self.intercept
+
+
+class RidgeRegression(Estimator):
+    """L2-penalised least squares (closed form)."""
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if alpha < 0:
+            raise MLError(f"alpha must be non-negative, got {alpha}")
+        self.alpha = alpha
+        self.coefficients: Optional[np.ndarray] = None
+        self.intercept: float = 0.0
+
+    def fit(self, X, y=None) -> "RidgeRegression":
+        if y is None:
+            raise MLError("RidgeRegression requires targets")
+        X = as_matrix(X)
+        y = as_vector(y, X.shape[0])
+        x_mean = X.mean(axis=0)
+        y_mean = y.mean()
+        Xc = X - x_mean
+        gram = Xc.T @ Xc + self.alpha * np.eye(X.shape[1])
+        self.coefficients = np.linalg.solve(gram, Xc.T @ (y - y_mean))
+        self.intercept = float(y_mean - x_mean @ self.coefficients)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._require_fitted("coefficients")
+        return as_matrix(X) @ self.coefficients + self.intercept
+
+
+class LassoRegression(Estimator):
+    """L1-penalised least squares via cyclic coordinate descent."""
+
+    def __init__(
+        self,
+        alpha: float = 1.0,
+        max_iterations: int = 1000,
+        tolerance: float = 1e-6,
+    ) -> None:
+        if alpha < 0:
+            raise MLError(f"alpha must be non-negative, got {alpha}")
+        self.alpha = alpha
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.coefficients: Optional[np.ndarray] = None
+        self.intercept: float = 0.0
+        self.iterations_run = 0
+
+    @staticmethod
+    def _soft_threshold(value: float, bound: float) -> float:
+        if value > bound:
+            return value - bound
+        if value < -bound:
+            return value + bound
+        return 0.0
+
+    def fit(self, X, y=None) -> "LassoRegression":
+        if y is None:
+            raise MLError("LassoRegression requires targets")
+        X = as_matrix(X)
+        y = as_vector(y, X.shape[0])
+        n, d = X.shape
+        x_mean = X.mean(axis=0)
+        y_mean = y.mean()
+        Xc = X - x_mean
+        yc = y - y_mean
+        beta = np.zeros(d)
+        column_sq = (Xc ** 2).sum(axis=0)
+        residual = yc - Xc @ beta
+        penalty = self.alpha * n
+        for iteration in range(self.max_iterations):
+            self.iterations_run = iteration + 1
+            max_delta = 0.0
+            for j in range(d):
+                if column_sq[j] == 0:
+                    continue
+                old = beta[j]
+                rho = Xc[:, j] @ residual + column_sq[j] * old
+                new = self._soft_threshold(rho, penalty) / column_sq[j]
+                if new != old:
+                    residual += Xc[:, j] * (old - new)
+                    beta[j] = new
+                    max_delta = max(max_delta, abs(new - old))
+            if max_delta < self.tolerance:
+                break
+        self.coefficients = beta
+        self.intercept = float(y_mean - x_mean @ beta)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._require_fitted("coefficients")
+        return as_matrix(X) @ self.coefficients + self.intercept

@@ -1,0 +1,89 @@
+"""Binary logistic regression trained by gradient descent.
+
+Full-batch gradient descent with an optional L2 penalty; deterministic for
+a given dataset.  Predicts 1 (malicious) when the estimated probability
+crosses ``decision_threshold``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.ml.base import Estimator, as_matrix, as_vector
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out
+
+
+class LogisticRegression(Estimator):
+    """L2-regularised binary logistic regression."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.5,
+        max_iterations: int = 300,
+        l2: float = 1e-4,
+        tolerance: float = 1e-7,
+        decision_threshold: float = 0.5,
+    ) -> None:
+        self.learning_rate = learning_rate
+        self.max_iterations = max_iterations
+        self.l2 = l2
+        self.tolerance = tolerance
+        self.decision_threshold = decision_threshold
+        self.coefficients: Optional[np.ndarray] = None
+        self.intercept: float = 0.0
+        self.iterations_run = 0
+
+    def fit(self, X, y=None) -> "LogisticRegression":
+        if y is None:
+            raise MLError("LogisticRegression requires 0/1 labels")
+        X = as_matrix(X)
+        y = as_vector(y, X.shape[0])
+        if not np.isin(np.unique(y), (0.0, 1.0)).all():
+            raise MLError("LogisticRegression labels must be 0/1")
+        n, d = X.shape
+        beta = np.zeros(d)
+        intercept = 0.0
+        previous_loss = np.inf
+        for iteration in range(self.max_iterations):
+            self.iterations_run = iteration + 1
+            probabilities = _sigmoid(X @ beta + intercept)
+            error = probabilities - y
+            gradient = X.T @ error / n + self.l2 * beta
+            intercept_gradient = float(error.mean())
+            beta -= self.learning_rate * gradient
+            intercept -= self.learning_rate * intercept_gradient
+            eps = 1e-12
+            loss = float(
+                -np.mean(
+                    y * np.log(probabilities + eps)
+                    + (1 - y) * np.log(1 - probabilities + eps)
+                )
+                + 0.5 * self.l2 * beta @ beta
+            )
+            if abs(previous_loss - loss) < self.tolerance:
+                break
+            previous_loss = loss
+        self.coefficients = beta
+        self.intercept = intercept
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._require_fitted("coefficients")
+        return _sigmoid(as_matrix(X) @ self.coefficients + self.intercept)
+
+    def predict(self, X) -> np.ndarray:
+        return (self.predict_proba(X) >= self.decision_threshold).astype(float)
+
+    def decision_scores(self, X) -> np.ndarray:
+        return self.predict_proba(X)

@@ -1,0 +1,81 @@
+"""Detection metrics.
+
+The paper reports *Detection Rate* (true-positive rate over malicious
+entries) and *False Alarm Rate* (false-positive rate over benign entries);
+both are derived from the confusion counts here, alongside the standard
+accuracy / precision / recall / F1 helpers used in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import MLError
+
+
+def confusion_counts(y_true, y_pred) -> Dict[str, int]:
+    """TP/FP/TN/FN with 1 = malicious, 0 = benign."""
+    y_true = np.asarray(y_true).ravel().astype(int)
+    y_pred = np.asarray(y_pred).ravel().astype(int)
+    if len(y_true) != len(y_pred):
+        raise MLError(f"length mismatch: {len(y_true)} vs {len(y_pred)}")
+    return {
+        "tp": int(((y_true == 1) & (y_pred == 1)).sum()),
+        "fp": int(((y_true == 0) & (y_pred == 1)).sum()),
+        "tn": int(((y_true == 0) & (y_pred == 0)).sum()),
+        "fn": int(((y_true == 1) & (y_pred == 0)).sum()),
+    }
+
+
+def detection_rate(y_true, y_pred) -> float:
+    """TP / (TP + FN): fraction of malicious entries caught."""
+    c = confusion_counts(y_true, y_pred)
+    denominator = c["tp"] + c["fn"]
+    return c["tp"] / denominator if denominator else 0.0
+
+
+def false_alarm_rate(y_true, y_pred) -> float:
+    """FP / (FP + TN): fraction of benign entries flagged."""
+    c = confusion_counts(y_true, y_pred)
+    denominator = c["fp"] + c["tn"]
+    return c["fp"] / denominator if denominator else 0.0
+
+
+def accuracy(y_true, y_pred) -> float:
+    c = confusion_counts(y_true, y_pred)
+    total = sum(c.values())
+    return (c["tp"] + c["tn"]) / total if total else 0.0
+
+
+def precision(y_true, y_pred) -> float:
+    c = confusion_counts(y_true, y_pred)
+    denominator = c["tp"] + c["fp"]
+    return c["tp"] / denominator if denominator else 0.0
+
+
+def recall(y_true, y_pred) -> float:
+    return detection_rate(y_true, y_pred)
+
+
+def f1_score(y_true, y_pred) -> float:
+    p = precision(y_true, y_pred)
+    r = recall(y_true, y_pred)
+    return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def mean_squared_error(y_true, y_pred) -> float:
+    y_true = np.asarray(y_true, dtype=float).ravel()
+    y_pred = np.asarray(y_pred, dtype=float).ravel()
+    if len(y_true) != len(y_pred):
+        raise MLError(f"length mismatch: {len(y_true)} vs {len(y_pred)}")
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def r2_score(y_true, y_pred) -> float:
+    y_true = np.asarray(y_true, dtype=float).ravel()
+    y_pred = np.asarray(y_pred, dtype=float).ravel()
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    return 1.0 - ss_res / ss_tot if ss_tot else 0.0

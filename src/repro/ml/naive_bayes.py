@@ -1,0 +1,73 @@
+"""Gaussian naive Bayes classification."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.ml.base import Estimator, as_matrix, as_vector
+
+_MIN_VARIANCE = 1e-9
+
+
+class GaussianNaiveBayes(Estimator):
+    """Per-class independent Gaussians over each feature."""
+
+    def __init__(self) -> None:
+        self.classes: Optional[np.ndarray] = None
+        self.priors: Optional[np.ndarray] = None
+        self.means: Optional[np.ndarray] = None
+        self.variances: Optional[np.ndarray] = None
+
+    def fit(self, X, y=None) -> "GaussianNaiveBayes":
+        if y is None:
+            raise MLError("GaussianNaiveBayes requires labels")
+        X = as_matrix(X)
+        y = as_vector(y, X.shape[0])
+        self.classes = np.unique(y)
+        if len(self.classes) < 2:
+            raise MLError("GaussianNaiveBayes needs at least two classes")
+        n_classes, d = len(self.classes), X.shape[1]
+        self.priors = np.empty(n_classes)
+        self.means = np.empty((n_classes, d))
+        self.variances = np.empty((n_classes, d))
+        # Shared variance smoothing keeps near-constant columns usable.
+        smoothing = 1e-9 * X.var(axis=0).max() if X.shape[0] > 1 else _MIN_VARIANCE
+        for idx, cls in enumerate(self.classes):
+            rows = X[y == cls]
+            self.priors[idx] = len(rows) / len(X)
+            self.means[idx] = rows.mean(axis=0)
+            self.variances[idx] = rows.var(axis=0) + max(smoothing, _MIN_VARIANCE)
+        return self
+
+    def _joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:
+        scores = np.empty((X.shape[0], len(self.classes)))
+        for idx in range(len(self.classes)):
+            var = self.variances[idx]
+            diff = X - self.means[idx]
+            scores[:, idx] = (
+                np.log(self.priors[idx])
+                - 0.5 * (np.log(2 * np.pi * var).sum() + ((diff ** 2) / var).sum(axis=1))
+            )
+        return scores
+
+    def predict(self, X) -> np.ndarray:
+        self._require_fitted("classes")
+        X = as_matrix(X)
+        return self.classes[np.argmax(self._joint_log_likelihood(X), axis=1)]
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._require_fitted("classes")
+        scores = self._joint_log_likelihood(as_matrix(X))
+        scores -= scores.max(axis=1, keepdims=True)
+        probabilities = np.exp(scores)
+        return probabilities / probabilities.sum(axis=1, keepdims=True)
+
+    def decision_scores(self, X) -> np.ndarray:
+        """Probability of the highest class (1 when binary malicious)."""
+        probabilities = self.predict_proba(X)
+        if set(self.classes.tolist()) == {0.0, 1.0}:
+            return probabilities[:, list(self.classes).index(1.0)]
+        return probabilities.max(axis=1)

@@ -1,0 +1,123 @@
+"""The Table IV preprocessor operators.
+
+* ``Weighting`` — emphasize certain features (column multipliers),
+* ``Sampling`` — select a subset of the entries,
+* ``Normalization`` — standardize independent variables (min-max or z-score),
+* ``Marking`` — annotate entries as malicious (handled upstream by the
+  Athena preprocessor, which produces the mark vector these transforms
+  carry along untouched).
+
+All transforms follow fit/transform so parameters learned on the training
+split are applied verbatim to the test split.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.ml.base import as_matrix
+
+
+class MinMaxNormalizer:
+    """Scale each column into [0, 1] using training-split extrema."""
+
+    def __init__(self) -> None:
+        self.minimum: Optional[np.ndarray] = None
+        self.span: Optional[np.ndarray] = None
+
+    def fit(self, X) -> "MinMaxNormalizer":
+        X = as_matrix(X)
+        self.minimum = X.min(axis=0)
+        span = X.max(axis=0) - self.minimum
+        span[span == 0] = 1.0
+        self.span = span
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.minimum is None:
+            raise MLError("MinMaxNormalizer is not fitted")
+        X = as_matrix(X)
+        if X.shape[1] != len(self.minimum):
+            raise MLError(
+                f"column mismatch: fitted {len(self.minimum)}, got {X.shape[1]}"
+            )
+        return (X - self.minimum) / self.span
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class StandardScaler:
+    """Zero-mean unit-variance scaling per column."""
+
+    def __init__(self) -> None:
+        self.mean: Optional[np.ndarray] = None
+        self.std: Optional[np.ndarray] = None
+
+    def fit(self, X) -> "StandardScaler":
+        X = as_matrix(X)
+        self.mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std == 0] = 1.0
+        self.std = std
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.mean is None:
+            raise MLError("StandardScaler is not fitted")
+        X = as_matrix(X)
+        if X.shape[1] != len(self.mean):
+            raise MLError(
+                f"column mismatch: fitted {len(self.mean)}, got {X.shape[1]}"
+            )
+        return (X - self.mean) / self.std
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class Weighter:
+    """Multiply feature columns by per-column weights (``Weighting``)."""
+
+    def __init__(self, weights: Sequence[float]) -> None:
+        self.weights = np.asarray(weights, dtype=float).ravel()
+        if np.any(self.weights < 0):
+            raise MLError("feature weights must be non-negative")
+
+    def transform(self, X) -> np.ndarray:
+        X = as_matrix(X)
+        if X.shape[1] != len(self.weights):
+            raise MLError(
+                f"column mismatch: {len(self.weights)} weights, {X.shape[1]} columns"
+            )
+        return X * self.weights
+
+    fit_transform = transform
+
+
+class Sampler:
+    """Uniformly sample a fraction of the rows (``Sampling``)."""
+
+    def __init__(self, fraction: float, seed: int = 0) -> None:
+        if not 0 < fraction <= 1:
+            raise MLError(f"sampling fraction must be in (0, 1], got {fraction}")
+        self.fraction = fraction
+        self.seed = seed
+
+    def sample_indices(self, n_rows: int) -> np.ndarray:
+        rng = np.random.default_rng(self.seed)
+        n_keep = max(1, int(round(n_rows * self.fraction)))
+        return np.sort(rng.choice(n_rows, size=n_keep, replace=False))
+
+    def transform(self, X, y=None):
+        X = as_matrix(X)
+        keep = self.sample_indices(X.shape[0])
+        if y is not None:
+            y = np.asarray(y).ravel()
+            return X[keep], y[keep]
+        return X[keep]
+
+    fit_transform = transform

@@ -1,0 +1,85 @@
+"""Algorithm registry.
+
+Maps the names the Athena NB API uses (``GenerateAlgorithm("kmeans",
+k=8)``) onto estimator classes, organised by the Table IV categories.  The
+Detector Manager consults the category to auto-configure the surrounding
+pipeline (e.g. clustering needs marks for labelling, classification needs
+labels for training).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.errors import MLError
+from repro.ml.base import Estimator
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.gaussian_mixture import GaussianMixture
+from repro.ml.gbt import GradientBoostedTrees
+from repro.ml.kmeans import KMeans
+from repro.ml.linear import LassoRegression, LinearRegression, RidgeRegression
+from repro.ml.logistic import LogisticRegression
+from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.ml.som import SelfOrganizingMap
+from repro.ml.svm import LinearSVM
+from repro.ml.threshold import ThresholdDetector
+
+#: name -> (category, estimator class).  Categories follow Table IV.
+_REGISTRY: Dict[str, tuple] = {
+    "gradient_boosted_tree": ("boosting", GradientBoostedTrees),
+    "decision_tree": ("classification", None),  # class set below to avoid cycle
+    "logistic_regression": ("classification", LogisticRegression),
+    "naive_bayes": ("classification", GaussianNaiveBayes),
+    "random_forest": ("classification", RandomForestClassifier),
+    "svm": ("classification", LinearSVM),
+    "gaussian_mixture": ("clustering", GaussianMixture),
+    "kmeans": ("clustering", KMeans),
+    "lasso": ("regression", LassoRegression),
+    "linear": ("regression", LinearRegression),
+    "ridge": ("regression", RidgeRegression),
+    "threshold": ("simple", ThresholdDetector),
+    "som": ("clustering", SelfOrganizingMap),
+}
+
+from repro.ml.tree import DecisionTreeClassifier  # noqa: E402
+
+_REGISTRY["decision_tree"] = ("classification", DecisionTreeClassifier)
+
+
+def list_algorithms(category: str = None) -> List[str]:
+    """All registered algorithm names, optionally by category."""
+    return sorted(
+        name
+        for name, (cat, _) in _REGISTRY.items()
+        if category is None or cat == category
+    )
+
+
+def category_of(name: str) -> str:
+    """Table IV category of an algorithm name."""
+    entry = _REGISTRY.get(_normalise(name))
+    if entry is None:
+        raise MLError(f"unknown algorithm {name!r}; known: {list_algorithms()}")
+    return entry[0]
+
+
+def _normalise(name: str) -> str:
+    collapsed = name.strip().lower().replace("-", "_").replace(" ", "_")
+    if collapsed in _REGISTRY:
+        return collapsed
+    # "K-Means" -> "k_means" -> "kmeans"; registry names have no separators
+    # where the compact form is the canonical one.
+    squeezed = collapsed.replace("_", "")
+    return squeezed if squeezed in _REGISTRY else collapsed
+
+
+def create_algorithm(name: str, **params: Any) -> Estimator:
+    """Instantiate an algorithm by name with keyword parameters."""
+    entry = _REGISTRY.get(_normalise(name))
+    if entry is None:
+        raise MLError(f"unknown algorithm {name!r}; known: {list_algorithms()}")
+    _category, cls = entry
+    try:
+        return cls(**params)
+    except TypeError as exc:
+        raise MLError(f"bad parameters for {name!r}: {exc}") from exc

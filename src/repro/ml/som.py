@@ -1,0 +1,98 @@
+"""Self-organizing map — the detector of Braga et al. [10].
+
+The paper's Table VI compares Athena's K-Means DDoS detector against the
+SOM-based detector of the prior work, so the baseline package needs a SOM.
+This is a classic rectangular-grid Kohonen map with Gaussian neighbourhood
+and exponentially decaying learning rate, plus the same marked-cluster
+labelling used by Athena's clustering models (each neuron becomes a
+cluster).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.ml.base import ClusteringModel, as_matrix
+
+
+class SelfOrganizingMap(ClusteringModel):
+    """A Kohonen SOM on a ``rows x cols`` grid."""
+
+    def __init__(
+        self,
+        rows: int = 3,
+        cols: int = 3,
+        epochs: int = 10,
+        learning_rate: float = 0.5,
+        sigma: Optional[float] = None,
+        seed: int = 0,
+        malicious_threshold: float = 0.5,
+    ) -> None:
+        super().__init__(malicious_threshold)
+        if rows < 1 or cols < 1:
+            raise MLError(f"invalid SOM grid {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.sigma = sigma or max(rows, cols) / 2.0
+        self.seed = seed
+        self.weights: Optional[np.ndarray] = None  # (rows*cols, d)
+        self._grid: Optional[np.ndarray] = None  # (rows*cols, 2)
+
+    def _build_grid(self) -> np.ndarray:
+        coords = [(r, c) for r in range(self.rows) for c in range(self.cols)]
+        return np.asarray(coords, dtype=float)
+
+    def fit(self, X, y=None) -> "SelfOrganizingMap":
+        X = as_matrix(X)
+        n, d = X.shape
+        if n == 0:
+            raise MLError("cannot fit a SOM on an empty dataset")
+        rng = np.random.default_rng(self.seed)
+        self._grid = self._build_grid()
+        n_units = self.rows * self.cols
+        self.weights = X[rng.integers(0, n, size=n_units)].astype(float)
+        total_steps = self.epochs * n
+        step = 0
+        for _epoch in range(self.epochs):
+            order = rng.permutation(n)
+            for idx in order:
+                step += 1
+                progress = step / total_steps
+                lr = self.learning_rate * np.exp(-3.0 * progress)
+                sigma = max(0.5, self.sigma * np.exp(-3.0 * progress))
+                row = X[idx]
+                bmu = int(np.argmin(((self.weights - row) ** 2).sum(axis=1)))
+                grid_dist_sq = ((self._grid - self._grid[bmu]) ** 2).sum(axis=1)
+                influence = np.exp(-grid_dist_sq / (2 * sigma ** 2))
+                self.weights += lr * influence[:, None] * (row - self.weights)
+        return self
+
+    def assign(self, X) -> np.ndarray:
+        self._require_fitted("weights")
+        X = as_matrix(X)
+        cross = X @ self.weights.T
+        sq_norms = (self.weights ** 2).sum(axis=1)
+        return np.argmin(sq_norms[None, :] - 2 * cross, axis=1)
+
+    def n_clusters_fitted(self) -> int:
+        self._require_fitted("weights")
+        return self.weights.shape[0]
+
+    def bmu_coordinates(self, X) -> np.ndarray:
+        """Grid (row, col) of the best-matching unit per input row."""
+        assignments = self.assign(X)
+        return self._grid[assignments]
+
+    def quantization_error(self, X) -> float:
+        """Mean distance to the best-matching unit."""
+        self._require_fitted("weights")
+        X = as_matrix(X)
+        assignments = self.assign(X)
+        return float(
+            np.mean(np.sqrt(((X - self.weights[assignments]) ** 2).sum(axis=1)))
+        )

@@ -1,0 +1,67 @@
+"""Linear support vector machine trained with Pegasos-style SGD.
+
+Hinge-loss minimisation with L2 regularisation, the standard primal SGD
+formulation.  Labels are 0/1 on the outside (Athena's convention) and
+mapped to ±1 internally.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.ml.base import Estimator, as_matrix, as_vector
+
+
+class LinearSVM(Estimator):
+    """Primal linear SVM via Pegasos SGD."""
+
+    def __init__(
+        self,
+        lambda_reg: float = 1e-3,
+        epochs: int = 20,
+        seed: int = 0,
+    ) -> None:
+        if lambda_reg <= 0:
+            raise MLError(f"lambda_reg must be positive, got {lambda_reg}")
+        self.lambda_reg = lambda_reg
+        self.epochs = epochs
+        self.seed = seed
+        self.coefficients: Optional[np.ndarray] = None
+        self.intercept: float = 0.0
+
+    def fit(self, X, y=None) -> "LinearSVM":
+        if y is None:
+            raise MLError("LinearSVM requires 0/1 labels")
+        X = as_matrix(X)
+        y = as_vector(y, X.shape[0])
+        if not np.isin(np.unique(y), (0.0, 1.0)).all():
+            raise MLError("LinearSVM labels must be 0/1")
+        signs = np.where(y > 0, 1.0, -1.0)
+        n, d = X.shape
+        rng = np.random.default_rng(self.seed)
+        weights = np.zeros(d)
+        intercept = 0.0
+        step = 0
+        for _epoch in range(self.epochs):
+            order = rng.permutation(n)
+            for idx in order:
+                step += 1
+                eta = 1.0 / (self.lambda_reg * step)
+                margin = signs[idx] * (X[idx] @ weights + intercept)
+                weights *= 1.0 - eta * self.lambda_reg
+                if margin < 1.0:
+                    weights += eta * signs[idx] * X[idx]
+                    intercept += eta * signs[idx]
+        self.coefficients = weights
+        self.intercept = intercept
+        return self
+
+    def decision_scores(self, X) -> np.ndarray:
+        self._require_fitted("coefficients")
+        return as_matrix(X) @ self.coefficients + self.intercept
+
+    def predict(self, X) -> np.ndarray:
+        return (self.decision_scores(X) >= 0).astype(float)

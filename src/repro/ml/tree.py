@@ -1,0 +1,237 @@
+"""CART decision trees (classification and regression).
+
+The classifier splits on Gini impurity, the regressor on variance
+reduction.  Split search is vectorised per feature: candidate thresholds
+are midpoints between consecutive sorted values, and impurities for every
+candidate are computed from prefix sums in one pass.  ``max_features``
+enables the random-subspace mode random forests and boosted trees use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.ml.base import Estimator, as_matrix, as_vector
+
+
+@dataclass
+class _Node:
+    """A tree node; leaves carry ``value``, internals carry a split."""
+
+    value: float = 0.0
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _best_split_classification(X, y, feature_indices, min_leaf):
+    """Return (feature, threshold, gain) minimising weighted Gini."""
+    n = len(y)
+    total_pos = y.sum()
+    parent_gini = 1.0 - ((total_pos / n) ** 2 + ((n - total_pos) / n) ** 2)
+    best = (None, 0.0, 0.0)
+    for feature in feature_indices:
+        order = np.argsort(X[:, feature], kind="stable")
+        values = X[order, feature]
+        labels = y[order]
+        prefix_pos = np.cumsum(labels)
+        counts_left = np.arange(1, n + 1)
+        # Valid split positions: value changes and both sides >= min_leaf.
+        boundary = values[:-1] < values[1:]
+        positions = np.nonzero(boundary)[0]
+        positions = positions[
+            (positions + 1 >= min_leaf) & (n - positions - 1 >= min_leaf)
+        ]
+        if len(positions) == 0:
+            continue
+        left_n = counts_left[positions].astype(float)
+        right_n = n - left_n
+        left_pos = prefix_pos[positions]
+        right_pos = total_pos - left_pos
+        gini_left = 1.0 - ((left_pos / left_n) ** 2 + ((left_n - left_pos) / left_n) ** 2)
+        gini_right = 1.0 - (
+            (right_pos / right_n) ** 2 + ((right_n - right_pos) / right_n) ** 2
+        )
+        weighted = (left_n * gini_left + right_n * gini_right) / n
+        idx = int(np.argmin(weighted))
+        gain = parent_gini - weighted[idx]
+        if gain > best[2]:
+            pos = positions[idx]
+            threshold = (values[pos] + values[pos + 1]) / 2.0
+            best = (feature, threshold, gain)
+    return best
+
+
+def _best_split_regression(X, y, feature_indices, min_leaf):
+    """Return (feature, threshold, gain) maximising variance reduction."""
+    n = len(y)
+    total_sum = y.sum()
+    total_sq = (y ** 2).sum()
+    parent_var = total_sq / n - (total_sum / n) ** 2
+    best = (None, 0.0, 0.0)
+    for feature in feature_indices:
+        order = np.argsort(X[:, feature], kind="stable")
+        values = X[order, feature]
+        targets = y[order]
+        prefix_sum = np.cumsum(targets)
+        prefix_sq = np.cumsum(targets ** 2)
+        boundary = values[:-1] < values[1:]
+        positions = np.nonzero(boundary)[0]
+        positions = positions[
+            (positions + 1 >= min_leaf) & (n - positions - 1 >= min_leaf)
+        ]
+        if len(positions) == 0:
+            continue
+        left_n = (positions + 1).astype(float)
+        right_n = n - left_n
+        left_sum = prefix_sum[positions]
+        left_sq = prefix_sq[positions]
+        right_sum = total_sum - left_sum
+        right_sq = total_sq - left_sq
+        var_left = left_sq / left_n - (left_sum / left_n) ** 2
+        var_right = right_sq / right_n - (right_sum / right_n) ** 2
+        weighted = (left_n * var_left + right_n * var_right) / n
+        idx = int(np.argmin(weighted))
+        gain = parent_var - weighted[idx]
+        if gain > best[2] + 1e-15:
+            pos = positions[idx]
+            threshold = (values[pos] + values[pos + 1]) / 2.0
+            best = (feature, threshold, gain)
+    return best
+
+
+class _BaseTree(Estimator):
+    """Shared recursive builder."""
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        if max_depth < 1:
+            raise MLError(f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.root: Optional[_Node] = None
+        self.n_nodes = 0
+
+    def _leaf_value(self, y: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def _split(self, X, y, feature_indices):
+        raise NotImplementedError
+
+    def _build(self, X, y, depth, rng) -> _Node:
+        self.n_nodes += 1
+        node = _Node(value=self._leaf_value(y))
+        if (
+            depth >= self.max_depth
+            or len(y) < self.min_samples_split
+            or np.all(y == y[0])
+        ):
+            return node
+        d = X.shape[1]
+        if self.max_features is not None and self.max_features < d:
+            feature_indices = rng.choice(d, size=self.max_features, replace=False)
+        else:
+            feature_indices = np.arange(d)
+        feature, threshold, gain = self._split(X, y, feature_indices)
+        if feature is None or gain <= 0:
+            return node
+        mask = X[:, feature] <= threshold
+        if mask.all() or not mask.any():
+            return node
+        node.feature = int(feature)
+        node.threshold = float(threshold)
+        node.left = self._build(X[mask], y[mask], depth + 1, rng)
+        node.right = self._build(X[~mask], y[~mask], depth + 1, rng)
+        return node
+
+    def fit(self, X, y=None) -> "_BaseTree":
+        if y is None:
+            raise MLError(f"{type(self).__name__} requires targets")
+        X = as_matrix(X)
+        y = as_vector(y, X.shape[0])
+        if X.shape[0] == 0:
+            raise MLError("cannot fit a tree on an empty dataset")
+        self.n_nodes = 0
+        rng = np.random.default_rng(self.seed)
+        self.root = self._build(X, y, depth=0, rng=rng)
+        return self
+
+    def _predict_row(self, row: np.ndarray) -> float:
+        node = self.root
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.value
+
+    def _raw_predict(self, X) -> np.ndarray:
+        self._require_fitted("root")
+        X = as_matrix(X)
+        return np.array([self._predict_row(row) for row in X])
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        def walk(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        self._require_fitted("root")
+        return walk(self.root)
+
+
+class DecisionTreeClassifier(_BaseTree):
+    """Binary CART classifier (labels 0/1) on Gini impurity."""
+
+    def _leaf_value(self, y: np.ndarray) -> float:
+        return float(y.mean())
+
+    def _split(self, X, y, feature_indices):
+        return _best_split_classification(
+            X, y, feature_indices, self.min_samples_leaf
+        )
+
+    def fit(self, X, y=None) -> "DecisionTreeClassifier":
+        y_arr = np.asarray(y, dtype=float).ravel() if y is not None else None
+        if y_arr is not None and not np.isin(np.unique(y_arr), (0.0, 1.0)).all():
+            raise MLError("DecisionTreeClassifier labels must be 0/1")
+        return super().fit(X, y)
+
+    def predict_proba(self, X) -> np.ndarray:
+        """P(malicious) per row (leaf positive fraction)."""
+        return self._raw_predict(X)
+
+    def predict(self, X) -> np.ndarray:
+        return (self.predict_proba(X) >= 0.5).astype(float)
+
+    def decision_scores(self, X) -> np.ndarray:
+        return self.predict_proba(X)
+
+
+class DecisionTreeRegressor(_BaseTree):
+    """CART regressor on variance reduction."""
+
+    def _leaf_value(self, y: np.ndarray) -> float:
+        return float(y.mean())
+
+    def _split(self, X, y, feature_indices):
+        return _best_split_regression(X, y, feature_indices, self.min_samples_leaf)
+
+    def predict(self, X) -> np.ndarray:
+        return self._raw_predict(X)

@@ -1,0 +1,79 @@
+"""OpenFlow actions.
+
+The simulator supports the action subset the paper's scenarios need: output
+to a port (including the CONTROLLER and FLOOD reserved ports), drop, and the
+header-rewrite actions the Quarantine reaction uses to redirect suspicious
+hosts into a honeynet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.types import OFPP_CONTROLLER
+
+
+@dataclass(frozen=True)
+class Action:
+    """Base class for all actions; concrete subclasses are frozen dataclasses."""
+
+    kind: str = "base"
+
+
+@dataclass(frozen=True)
+class ActionOutput(Action):
+    """Forward the packet out of ``port`` (possibly a reserved port)."""
+
+    port: int = 0
+    kind: str = "output"
+
+
+@dataclass(frozen=True)
+class ActionController(Action):
+    """Punt the packet to the controller (shorthand for output:CONTROLLER)."""
+
+    max_len: int = 128
+    kind: str = "controller"
+
+    @property
+    def port(self) -> int:
+        return OFPP_CONTROLLER
+
+
+@dataclass(frozen=True)
+class ActionDrop(Action):
+    """Explicitly drop the packet (empty action list is equivalent)."""
+
+    kind: str = "drop"
+
+
+@dataclass(frozen=True)
+class ActionSetEthSrc(Action):
+    """Rewrite the Ethernet source address."""
+
+    mac: str = ""
+    kind: str = "set_eth_src"
+
+
+@dataclass(frozen=True)
+class ActionSetEthDst(Action):
+    """Rewrite the Ethernet destination address."""
+
+    mac: str = ""
+    kind: str = "set_eth_dst"
+
+
+@dataclass(frozen=True)
+class ActionSetIpSrc(Action):
+    """Rewrite the IPv4 source address."""
+
+    ip: str = ""
+    kind: str = "set_ip_src"
+
+
+@dataclass(frozen=True)
+class ActionSetIpDst(Action):
+    """Rewrite the IPv4 destination address (used by Quarantine)."""
+
+    ip: str = ""
+    kind: str = "set_ip_dst"

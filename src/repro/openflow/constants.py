@@ -1,0 +1,90 @@
+"""OpenFlow protocol constants (subset of the 1.0/1.3 specifications)."""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+#: Wire protocol version bytes.
+OFP_VERSION_10 = 0x01
+OFP_VERSION_13 = 0x04
+
+#: Priority used by table-miss entries in OF 1.3 pipelines.
+TABLE_MISS_PRIORITY = 0
+
+#: Default priority ONOS assigns to reactive flows.
+DEFAULT_PRIORITY = 10
+
+#: Ethertypes the simulator understands.
+ETH_TYPE_IPV4 = 0x0800
+ETH_TYPE_ARP = 0x0806
+ETH_TYPE_LLDP = 0x88CC
+
+#: IP protocol numbers.
+IPPROTO_ICMP = 1
+IPPROTO_TCP = 6
+IPPROTO_UDP = 17
+
+
+class MessageType(IntEnum):
+    """OpenFlow message type codes (OF 1.0 numbering for the shared subset)."""
+
+    HELLO = 0
+    ERROR = 1
+    ECHO_REQUEST = 2
+    ECHO_REPLY = 3
+    FEATURES_REQUEST = 5
+    FEATURES_REPLY = 6
+    PACKET_IN = 10
+    FLOW_REMOVED = 11
+    PORT_STATUS = 12
+    PACKET_OUT = 13
+    FLOW_MOD = 14
+    STATS_REQUEST = 16
+    STATS_REPLY = 17
+    BARRIER_REQUEST = 18
+    BARRIER_REPLY = 19
+
+
+class PacketInReason(IntEnum):
+    """Why a packet was punted to the controller."""
+
+    NO_MATCH = 0
+    ACTION = 1
+    INVALID_TTL = 2
+
+
+class FlowModCommand(IntEnum):
+    """FLOW_MOD commands."""
+
+    ADD = 0
+    MODIFY = 1
+    MODIFY_STRICT = 2
+    DELETE = 3
+    DELETE_STRICT = 4
+
+
+class FlowRemovedReason(IntEnum):
+    """Why a flow entry was evicted from a flow table."""
+
+    IDLE_TIMEOUT = 0
+    HARD_TIMEOUT = 1
+    DELETE = 2
+    GROUP_DELETE = 3
+
+
+class PortReason(IntEnum):
+    """PORT_STATUS change reasons."""
+
+    ADD = 0
+    DELETE = 1
+    MODIFY = 2
+
+
+class StatsType(IntEnum):
+    """Statistics request/reply subtypes."""
+
+    DESC = 0
+    FLOW = 1
+    AGGREGATE = 2
+    TABLE = 3
+    PORT = 4

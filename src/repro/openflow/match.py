@@ -1,0 +1,105 @@
+"""The OpenFlow match structure.
+
+A :class:`Match` is the 12-tuple-style header match of OpenFlow 1.0 with the
+fields Athena's feature catalog indexes on.  ``None`` means wildcard.  The
+structure is hashable so flow tables and Athena's per-flow state tables can
+key on it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Optional
+
+from repro.errors import OpenFlowError
+
+#: Names of all matchable fields in precedence-free order.
+MATCH_FIELDS = (
+    "in_port",
+    "eth_src",
+    "eth_dst",
+    "eth_type",
+    "vlan_id",
+    "ip_src",
+    "ip_dst",
+    "ip_proto",
+    "ip_tos",
+    "tcp_src",
+    "tcp_dst",
+)
+
+
+@dataclass(frozen=True)
+class Match:
+    """An immutable header match; unset fields are wildcards.
+
+    ``tcp_src``/``tcp_dst`` carry the L4 source/destination port for both TCP
+    and UDP, mirroring OpenFlow 1.0's ``tp_src``/``tp_dst``.
+    """
+
+    in_port: Optional[int] = None
+    eth_src: Optional[str] = None
+    eth_dst: Optional[str] = None
+    eth_type: Optional[int] = None
+    vlan_id: Optional[int] = None
+    ip_src: Optional[str] = None
+    ip_dst: Optional[str] = None
+    ip_proto: Optional[int] = None
+    ip_tos: Optional[int] = None
+    tcp_src: Optional[int] = None
+    tcp_dst: Optional[int] = None
+
+    def matches(self, headers: Dict[str, Any]) -> bool:
+        """Return whether a concrete packet-header dict satisfies this match.
+
+        ``headers`` maps field names to concrete values; missing header keys
+        only satisfy wildcarded fields.
+        """
+        for field_ in fields(self):
+            wanted = getattr(self, field_.name)
+            if wanted is None:
+                continue
+            if headers.get(field_.name) != wanted:
+                return False
+        return True
+
+    def is_subset_of(self, other: "Match") -> bool:
+        """True if every packet this match accepts, ``other`` also accepts."""
+        for field_ in fields(self):
+            theirs = getattr(other, field_.name)
+            if theirs is None:
+                continue
+            if getattr(self, field_.name) != theirs:
+                return False
+        return True
+
+    def specificity(self) -> int:
+        """Number of concretely matched fields (used for tie-breaking)."""
+        return sum(
+            1 for field_ in fields(self) if getattr(self, field_.name) is not None
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Dict of only the concretely matched fields."""
+        return {
+            field_.name: getattr(self, field_.name)
+            for field_ in fields(self)
+            if getattr(self, field_.name) is not None
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Match":
+        """Build a match from a dict, rejecting unknown field names."""
+        unknown = set(data) - set(MATCH_FIELDS)
+        if unknown:
+            raise OpenFlowError(f"unknown match fields: {sorted(unknown)}")
+        return cls(**data)
+
+    @classmethod
+    def exact_from_headers(cls, headers: Dict[str, Any]) -> "Match":
+        """Build the exact-match entry for a concrete packet header dict."""
+        return cls(**{k: v for k, v in headers.items() if k in MATCH_FIELDS})
+
+    def __str__(self) -> str:
+        parts = [f"{k}={v}" for k, v in self.to_dict().items()]
+        return "Match(" + ", ".join(parts) + ")" if parts else "Match(*)"

@@ -1,0 +1,15 @@
+"""Discrete-event simulation kernel underpinning the SDN substrate.
+
+The kernel provides a deterministic, seeded, simulated-time environment:
+:class:`~repro.simkernel.clock.SimClock` for time, an ordered
+:class:`~repro.simkernel.events.EventQueue`, and the
+:class:`~repro.simkernel.scheduler.Simulator` event loop that the data plane
+and controller subscribe to.
+"""
+
+from repro.simkernel.clock import SimClock
+from repro.simkernel.events import Event, EventQueue
+from repro.simkernel.rng import SeededRng
+from repro.simkernel.scheduler import Simulator
+
+__all__ = ["SimClock", "Event", "EventQueue", "SeededRng", "Simulator"]

@@ -1,0 +1,48 @@
+"""Simulated wall clock.
+
+All data-plane and controller timestamps come from a :class:`SimClock`, so an
+entire deployment run is deterministic and reproducible regardless of host
+load.  Time is a float number of seconds since the simulation epoch.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class SimClock:
+    """A monotonically advancing simulated clock.
+
+    The clock only moves forward; rewinding raises :class:`SimulationError`.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise SimulationError(f"clock cannot start before epoch: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Move the clock forward to ``when``.
+
+        Raises:
+            SimulationError: if ``when`` is in the simulated past.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot rewind clock from {self._now} to {when}"
+            )
+        self._now = float(when)
+
+    def advance_by(self, delta: float) -> None:
+        """Move the clock forward by ``delta`` seconds."""
+        if delta < 0:
+            raise SimulationError(f"negative clock delta: {delta}")
+        self._now += float(delta)
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6f})"

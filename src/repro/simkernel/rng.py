@@ -1,0 +1,54 @@
+"""Seeded random-number helpers.
+
+Every stochastic component (workload generators, ML initialisation) draws
+from a :class:`SeededRng` so a run is reproducible from a single root seed.
+Child generators are derived deterministically by name, so adding a new
+consumer never perturbs the streams of existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+class SeededRng:
+    """A named tree of deterministic numpy generators."""
+
+    def __init__(self, seed: int, name: str = "root") -> None:
+        self.seed = int(seed)
+        self.name = name
+        self.generator = np.random.default_rng(self._derive(seed, name))
+
+    @staticmethod
+    def _derive(seed: int, name: str) -> int:
+        digest = hashlib.sha256(f"{seed}:{name}".encode()).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def child(self, name: str) -> "SeededRng":
+        """Return an independent generator derived from this one by name."""
+        return SeededRng(self.seed, f"{self.name}/{name}")
+
+    # Thin conveniences over the numpy generator -------------------------
+
+    def uniform(self, low: float = 0.0, high: float = 1.0, size=None):
+        return self.generator.uniform(low, high, size)
+
+    def normal(self, loc: float = 0.0, scale: float = 1.0, size=None):
+        return self.generator.normal(loc, scale, size)
+
+    def exponential(self, scale: float = 1.0, size=None):
+        return self.generator.exponential(scale, size)
+
+    def integers(self, low: int, high: int, size=None):
+        return self.generator.integers(low, high, size)
+
+    def choice(self, options, size=None, replace: bool = True, p=None):
+        return self.generator.choice(options, size=size, replace=replace, p=p)
+
+    def shuffle(self, array) -> None:
+        self.generator.shuffle(array)
+
+    def random(self, size=None):
+        return self.generator.random(size)

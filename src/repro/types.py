@@ -1,0 +1,96 @@
+"""Small shared value types and identifier helpers.
+
+The SDN stack identifies entities the way OpenFlow/ONOS do:
+
+* switches by *datapath id* (``Dpid``, a 64-bit integer rendered as
+  ``of:0000000000000001``),
+* ports by small integers,
+* hosts by MAC / IPv4 address strings.
+
+These helpers centralise formatting and parsing so features, flow rules and
+reactions all agree on identity.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import re
+from dataclasses import dataclass
+
+Dpid = int
+PortNo = int
+
+#: OpenFlow reserved port numbers (subset used by the simulator).
+OFPP_MAX = 0xFF00
+OFPP_IN_PORT = 0xFFF8
+OFPP_FLOOD = 0xFFFB
+OFPP_ALL = 0xFFFC
+OFPP_CONTROLLER = 0xFFFD
+OFPP_NONE = 0xFFFF
+
+_MAC_RE = re.compile(r"^([0-9a-f]{2}:){5}[0-9a-f]{2}$")
+
+
+def format_dpid(dpid: Dpid) -> str:
+    """Render a datapath id in the ONOS ``of:hex16`` form."""
+    if dpid < 0 or dpid > 0xFFFFFFFFFFFFFFFF:
+        raise ValueError(f"dpid out of range: {dpid!r}")
+    return f"of:{dpid:016x}"
+
+
+def parse_dpid(text: str) -> Dpid:
+    """Parse either ``of:hex16`` or a plain integer string into a dpid."""
+    if text.startswith("of:"):
+        return int(text[3:], 16)
+    return int(text)
+
+
+def mac_from_int(value: int) -> str:
+    """Format a 48-bit integer as a lowercase colon-separated MAC."""
+    if value < 0 or value > 0xFFFFFFFFFFFF:
+        raise ValueError(f"mac out of range: {value!r}")
+    raw = f"{value:012x}"
+    return ":".join(raw[i : i + 2] for i in range(0, 12, 2))
+
+
+def mac_to_int(mac: str) -> int:
+    """Parse a colon-separated MAC back to its 48-bit integer value."""
+    if not _MAC_RE.match(mac.lower()):
+        raise ValueError(f"not a MAC address: {mac!r}")
+    return int(mac.replace(":", ""), 16)
+
+
+def ip_from_int(value: int) -> str:
+    """Format a 32-bit integer as dotted-quad IPv4."""
+    return str(ipaddress.IPv4Address(value))
+
+
+def ip_to_int(ip: str) -> int:
+    """Parse dotted-quad IPv4 into its 32-bit integer value."""
+    return int(ipaddress.IPv4Address(ip))
+
+
+@dataclass(frozen=True, order=True)
+class HostId:
+    """Identity of an end host: its MAC plus primary IPv4 address."""
+
+    mac: str
+    ip: str
+
+    def __post_init__(self) -> None:
+        mac_to_int(self.mac)  # validates
+        ip_to_int(self.ip)  # validates
+
+    def __str__(self) -> str:
+        return f"{self.mac}/{self.ip}"
+
+
+@dataclass(frozen=True, order=True)
+class ConnectPoint:
+    """A (switch, port) attachment point in the data plane."""
+
+    dpid: Dpid
+    port: PortNo
+
+    def __str__(self) -> str:
+        return f"{format_dpid(self.dpid)}/{self.port}"

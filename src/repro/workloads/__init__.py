@@ -1,0 +1,22 @@
+"""Workload and dataset generators.
+
+Replaces the paper's physical testbed traffic: seeded generators produce
+either live packet schedules for the data-plane simulator (NAE and LFA
+scenarios, integration tests) or labelled Athena feature datasets with the
+paper's benign/malicious mix (the 37.37M-entry DDoS dataset, scaled by a
+configurable factor).
+"""
+
+from repro.workloads.ddos import DDoSDatasetGenerator, DDoSDatasetSpec
+from repro.workloads.flows import FlowSpec, TrafficSchedule
+from repro.workloads.lfa import LFATrafficGenerator
+from repro.workloads.nae import NAEWorkload
+
+__all__ = [
+    "DDoSDatasetGenerator",
+    "DDoSDatasetSpec",
+    "FlowSpec",
+    "TrafficSchedule",
+    "LFATrafficGenerator",
+    "NAEWorkload",
+]

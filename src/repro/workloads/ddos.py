@@ -1,0 +1,325 @@
+"""The DDoS dataset generator (Scenario 1 / Figure 6).
+
+Generates labelled Athena flow-feature documents with the paper's mix:
+25% benign / 75% malicious entries, benign flows sampled ~367 times and
+malicious flows ~168 times (the 37,370,466-entry dataset scales down by a
+single ``scale`` factor while preserving the proportions).
+
+The class-conditional structure mirrors the attack traffic of Braga et
+al. [10], which the paper replays:
+
+* benign modes — paired web, DNS and bulk-transfer flows; plus a *flash
+  crowd* mode (≈4.5% of benign entries) whose one-way bursty profile is
+  indistinguishable from a UDP flood, producing the paper's false alarms;
+* malicious modes — SYN / UDP / ICMP floods (unpaired, high packet rate,
+  small payloads, depressed switch-level pair-flow ratio); plus a *stealth*
+  mode (≈0.77% of malicious entries) that mimics paired web traffic,
+  producing the paper's false negatives.
+
+Feature tuple (10 features, matching the paper's "10-tuples" over the
+Table V candidates): PAIR_FLOW, PAIR_FLOW_RATIO, FLOW_PACKET_COUNT,
+FLOW_BYTE_COUNT, FLOW_BYTE_PER_PACKET, FLOW_PACKET_PER_DURATION,
+FLOW_BYTE_PER_DURATION, FLOW_DURATION_SEC, FLOW_DURATION_N_SEC,
+DST_FLOW_FANIN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.simkernel.rng import SeededRng
+from repro.types import ip_from_int
+
+#: The 10-feature tuple the detector trains on.
+DDOS_FEATURES = [
+    "PAIR_FLOW",
+    "PAIR_FLOW_RATIO",
+    "FLOW_PACKET_COUNT",
+    "FLOW_BYTE_COUNT",
+    "FLOW_BYTE_PER_PACKET",
+    "FLOW_PACKET_PER_DURATION",
+    "FLOW_BYTE_PER_DURATION",
+    "FLOW_DURATION_SEC",
+    "FLOW_DURATION_N_SEC",
+    "DST_FLOW_FANIN",
+]
+
+#: Paper dataset proportions (Figure 6).
+PAPER_TOTAL_ENTRIES = 37_370_466
+PAPER_BENIGN_ENTRIES = 9_375_848
+PAPER_MALICIOUS_ENTRIES = 27_994_618
+PAPER_BENIGN_FLOWS = 25_559
+PAPER_MALICIOUS_FLOWS = 166_213
+
+
+@dataclass
+class DDoSDatasetSpec:
+    """Scaled dataset shape."""
+
+    scale: float = 0.001
+    seed: int = 7
+    #: Fraction of benign entries from the flash-crowd (attack-like) mode.
+    flash_fraction: float = 0.0446
+    #: Fraction of malicious entries from the stealth (benign-like) mode.
+    stealth_fraction: float = 0.0077
+    n_switches: int = 18
+
+    @property
+    def benign_flows(self) -> int:
+        return max(8, int(round(PAPER_BENIGN_FLOWS * self.scale)))
+
+    @property
+    def malicious_flows(self) -> int:
+        return max(8, int(round(PAPER_MALICIOUS_FLOWS * self.scale)))
+
+    @property
+    def benign_entries(self) -> int:
+        return max(self.benign_flows, int(round(PAPER_BENIGN_ENTRIES * self.scale)))
+
+    @property
+    def malicious_entries(self) -> int:
+        return max(
+            self.malicious_flows, int(round(PAPER_MALICIOUS_ENTRIES * self.scale))
+        )
+
+
+def _clip(values: np.ndarray, low: float, high: float) -> np.ndarray:
+    return np.clip(values, low, high)
+
+
+class DDoSDatasetGenerator:
+    """Produces labelled Athena flow-feature documents."""
+
+    def __init__(self, spec: DDoSDatasetSpec = None) -> None:
+        self.spec = spec or DDoSDatasetSpec()
+        self._rng = SeededRng(self.spec.seed, "ddos")
+
+    # -- per-mode samplers: (packets, bpp, duration, paired, ratio, fanin) --
+
+    def _mode_web(self, rng, n: int) -> Dict[str, np.ndarray]:
+        packets = _clip(rng.generator.lognormal(3.4, 0.7, n), 4, 2000)
+        bpp = _clip(rng.normal(900, 180, n), 200, 1500)
+        duration = _clip(rng.generator.lognormal(2.2, 0.8, n), 0.5, 300)
+        return {
+            "packets": packets,
+            "bpp": bpp,
+            "duration": duration,
+            "paired": np.ones(n),
+            "ratio": _clip(rng.normal(0.86, 0.05, n), 0.6, 1.0),
+            "fanin": _clip(rng.normal(4, 2, n), 1, 20),
+        }
+
+    def _mode_dns(self, rng, n: int) -> Dict[str, np.ndarray]:
+        return {
+            "packets": _clip(rng.normal(3, 1, n), 1, 8),
+            "bpp": _clip(rng.normal(120, 25, n), 60, 300),
+            "duration": _clip(rng.exponential(0.4, n), 0.05, 3),
+            "paired": np.ones(n),
+            "ratio": _clip(rng.normal(0.88, 0.04, n), 0.6, 1.0),
+            "fanin": _clip(rng.normal(6, 3, n), 1, 30),
+        }
+
+    def _mode_bulk(self, rng, n: int) -> Dict[str, np.ndarray]:
+        return {
+            "packets": _clip(rng.generator.lognormal(7.5, 0.6, n), 500, 50000),
+            "bpp": _clip(rng.normal(1380, 60, n), 1000, 1500),
+            "duration": _clip(rng.generator.lognormal(4.0, 0.6, n), 10, 1000),
+            "paired": np.ones(n),
+            "ratio": _clip(rng.normal(0.84, 0.06, n), 0.6, 1.0),
+            "fanin": _clip(rng.normal(3, 1.5, n), 1, 10),
+        }
+
+    def _mode_udp_flood(self, rng, n: int) -> Dict[str, np.ndarray]:
+        return {
+            "packets": _clip(rng.generator.lognormal(6.2, 0.5, n), 100, 20000),
+            "bpp": _clip(rng.normal(310, 60, n), 100, 600),
+            "duration": _clip(rng.exponential(2.0, n), 0.2, 20),
+            "paired": np.zeros(n),
+            "ratio": _clip(rng.normal(0.14, 0.06, n), 0.0, 0.4),
+            "fanin": _clip(rng.generator.lognormal(5.5, 0.5, n), 50, 2000),
+        }
+
+    def _mode_syn_flood(self, rng, n: int) -> Dict[str, np.ndarray]:
+        return {
+            "packets": _clip(rng.generator.lognormal(5.8, 0.5, n), 80, 10000),
+            "bpp": _clip(rng.normal(64, 6, n), 40, 90),
+            "duration": _clip(rng.exponential(1.5, n), 0.1, 15),
+            "paired": np.zeros(n),
+            "ratio": _clip(rng.normal(0.12, 0.05, n), 0.0, 0.35),
+            "fanin": _clip(rng.generator.lognormal(5.8, 0.5, n), 80, 3000),
+        }
+
+    def _mode_icmp_flood(self, rng, n: int) -> Dict[str, np.ndarray]:
+        return {
+            "packets": _clip(rng.generator.lognormal(6.0, 0.5, n), 100, 15000),
+            "bpp": _clip(rng.normal(84, 8, n), 56, 120),
+            "duration": _clip(rng.exponential(2.5, n), 0.2, 25),
+            "paired": np.zeros(n),
+            "ratio": _clip(rng.normal(0.16, 0.06, n), 0.0, 0.4),
+            "fanin": _clip(rng.generator.lognormal(5.3, 0.5, n), 40, 1500),
+        }
+
+    #: Flash crowds replicate the UDP-flood profile (the FP source).
+    def _mode_flash(self, rng, n: int) -> Dict[str, np.ndarray]:
+        return self._mode_udp_flood(rng, n)
+
+    #: Stealth attacks replicate the web profile (the FN source).
+    def _mode_stealth(self, rng, n: int) -> Dict[str, np.ndarray]:
+        return self._mode_web(rng, n)
+
+    # -- assembly ------------------------------------------------------------
+
+    def _build_entries(
+        self,
+        rng: SeededRng,
+        modes: List[Tuple[str, float]],
+        n_flows: int,
+        n_entries: int,
+        label: int,
+        proto_by_mode: Dict[str, int],
+        src_base: int,
+        dst_pool: List[str],
+    ) -> List[Dict[str, Any]]:
+        """Allocate flows and entries to modes by exact proportion.
+
+        Deterministic apportionment keeps the flash/stealth entry fractions
+        (the FP/FN drivers) at their configured values even at small scales,
+        where sampling modes per flow would introduce large variance.
+        """
+        names = [m for m, _ in modes]
+        weights = np.array([w for _, w in modes])
+        weights = weights / weights.sum()
+        # Largest-remainder apportionment of flows and entries per mode.
+        flow_counts = np.maximum(1, np.floor(weights * n_flows).astype(int))
+        entry_counts = np.maximum(1, np.floor(weights * n_entries).astype(int))
+        flow_counts[0] += n_flows - flow_counts.sum()
+        entry_counts[0] += n_entries - entry_counts.sum()
+        samplers = {
+            "web": self._mode_web,
+            "dns": self._mode_dns,
+            "bulk": self._mode_bulk,
+            "udp": self._mode_udp_flood,
+            "syn": self._mode_syn_flood,
+            "icmp": self._mode_icmp_flood,
+            "flash": self._mode_flash,
+            "stealth": self._mode_stealth,
+        }
+        flows = []
+        flow_indices_by_mode = {}
+        flow_idx = 0
+        for mode_idx, mode in enumerate(names):
+            indices = []
+            for _ in range(int(flow_counts[mode_idx])):
+                base = samplers[mode](rng, 1)
+                flows.append(
+                    {
+                        "mode": mode,
+                        "ip_src": ip_from_int(src_base + flow_idx),
+                        "ip_dst": dst_pool[flow_idx % len(dst_pool)],
+                        "ip_proto": proto_by_mode.get(mode, 6),
+                        "tcp_src": int(rng.integers(1024, 65000)),
+                        "tcp_dst": 80
+                        if mode in ("web", "flash", "stealth", "syn")
+                        else 53,
+                        "base": {k: float(v[0]) for k, v in base.items()},
+                    }
+                )
+                indices.append(flow_idx)
+                flow_idx += 1
+            flow_indices_by_mode[mode] = indices
+        # Entries: exact per-mode counts, flows sampled within the mode.
+        entry_flow = np.concatenate(
+            [
+                rng.choice(flow_indices_by_mode[mode], size=int(entry_counts[i]))
+                for i, mode in enumerate(names)
+            ]
+        )
+        rng.shuffle(entry_flow)
+        documents: List[Dict[str, Any]] = []
+        jitter = rng.normal(1.0, 0.08, size=n_entries)
+        timestamps = np.sort(rng.uniform(0.0, 3600.0, size=n_entries))
+        for i in range(n_entries):
+            flow = flows[int(entry_flow[i])]
+            base = flow["base"]
+            growth = max(0.05, float(jitter[i]))
+            packets = max(1.0, base["packets"] * growth)
+            bpp = max(20.0, base["bpp"] * max(0.5, float(jitter[i])))
+            duration = max(0.05, base["duration"] * growth)
+            bytes_ = packets * bpp
+            doc: Dict[str, Any] = {
+                "feature_scope": "flow",
+                "switch_id": int(i % self.spec.n_switches) + 1,
+                "instance_id": int(i % 3),
+                "timestamp": float(timestamps[i]),
+                "ip_src": flow["ip_src"],
+                "ip_dst": flow["ip_dst"],
+                "ip_proto": flow["ip_proto"],
+                "tcp_src": flow["tcp_src"],
+                "tcp_dst": flow["tcp_dst"],
+                "label": label,
+                "PAIR_FLOW": base["paired"],
+                "PAIR_FLOW_RATIO": base["ratio"],
+                "FLOW_PACKET_COUNT": packets,
+                "FLOW_BYTE_COUNT": bytes_,
+                "FLOW_BYTE_PER_PACKET": bpp,
+                "FLOW_PACKET_PER_DURATION": packets / duration,
+                "FLOW_BYTE_PER_DURATION": bytes_ / duration,
+                "FLOW_DURATION_SEC": duration,
+                "FLOW_DURATION_N_SEC": float(rng.uniform(0, 1e9)),
+                "DST_FLOW_FANIN": base["fanin"],
+            }
+            documents.append(doc)
+        return documents
+
+    def generate(self) -> List[Dict[str, Any]]:
+        """Build the full labelled dataset (shuffled by timestamp order)."""
+        spec = self.spec
+        rng_benign = self._rng.child("benign")
+        rng_attack = self._rng.child("attack")
+        servers = [ip_from_int((10 << 24) + (1 << 16) + i) for i in range(8)]
+        victim = [ip_from_int((10 << 24) + (2 << 16) + 1)]
+        benign = self._build_entries(
+            rng_benign,
+            modes=[
+                ("web", 0.62 * (1 - spec.flash_fraction)),
+                ("dns", 0.20 * (1 - spec.flash_fraction)),
+                ("bulk", 0.18 * (1 - spec.flash_fraction)),
+                ("flash", spec.flash_fraction),
+            ],
+            n_flows=spec.benign_flows,
+            n_entries=spec.benign_entries,
+            label=0,
+            proto_by_mode={"web": 6, "dns": 17, "bulk": 6, "flash": 17},
+            src_base=(172 << 24) + (16 << 16),
+            dst_pool=servers,
+        )
+        malicious = self._build_entries(
+            rng_attack,
+            modes=[
+                ("syn", 0.40 * (1 - spec.stealth_fraction)),
+                ("udp", 0.35 * (1 - spec.stealth_fraction)),
+                ("icmp", 0.25 * (1 - spec.stealth_fraction)),
+                ("stealth", spec.stealth_fraction),
+            ],
+            n_flows=spec.malicious_flows,
+            n_entries=spec.malicious_entries,
+            label=1,
+            proto_by_mode={"syn": 6, "udp": 17, "icmp": 1, "stealth": 6},
+            src_base=(198 << 24) + (51 << 16),
+            dst_pool=victim,
+        )
+        documents = benign + malicious
+        documents.sort(key=lambda d: d["timestamp"])
+        return documents
+
+    def train_test_split(
+        self, documents: List[Dict[str, Any]], train_fraction: float = 0.5
+    ) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]:
+        """Deterministic interleaved split preserving class mix."""
+        train, test = [], []
+        for i, doc in enumerate(documents):
+            (train if (i % 1000) < train_fraction * 1000 else test).append(doc)
+        return train, test

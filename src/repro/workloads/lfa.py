@@ -1,0 +1,82 @@
+"""Link Flooding Attack (Crossfire-style) traffic (Scenario 2).
+
+An LFA adversary saturates a *target link* using many individually
+low-rate, protocol-conforming flows between bot hosts and public decoy
+servers whose paths all traverse that link.  The generator builds the
+benign background plus the coordinated bot flows as
+:class:`~repro.workloads.flows.FlowSpec` lists for live injection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.simkernel.rng import SeededRng
+from repro.workloads.flows import FlowSpec
+
+
+@dataclass
+class LFATrafficGenerator:
+    """Builds bot and benign flow schedules for the LFA scenario."""
+
+    bot_hosts: Sequence[str]
+    decoy_hosts: Sequence[str]
+    benign_pairs: Sequence[tuple] = ()
+    seed: int = 21
+    #: Per-bot-flow rate: low enough to look legitimate individually.
+    bot_rate_pps: float = 40.0
+    bot_packet_size: int = 700
+    flows_per_bot: int = 3
+    attack_start: float = 5.0
+    attack_duration: float = 10.0
+
+    def benign_flows(self, duration: float = 20.0) -> List[FlowSpec]:
+        """Normal bidirectional background traffic."""
+        rng = SeededRng(self.seed, "lfa-benign")
+        specs = []
+        for idx, (src, dst) in enumerate(self.benign_pairs):
+            specs.append(
+                FlowSpec(
+                    src_host=src,
+                    dst_host=dst,
+                    sport=30000 + idx,
+                    dport=80,
+                    packet_size=int(rng.integers(400, 1400)),
+                    rate_pps=float(rng.uniform(5, 15)),
+                    start=float(rng.uniform(0.0, 2.0)),
+                    duration=duration,
+                    bidirectional=True,
+                    # Legitimate senders grow into available bandwidth,
+                    # which is what the TBE step exposes.
+                    rate_growth=0.35,
+                )
+            )
+        return specs
+
+    def attack_flows(self) -> List[FlowSpec]:
+        """The coordinated bot flows converging on the target link."""
+        rng = SeededRng(self.seed, "lfa-attack")
+        specs = []
+        for bot_idx, bot in enumerate(self.bot_hosts):
+            for flow_idx in range(self.flows_per_bot):
+                decoy = self.decoy_hosts[
+                    (bot_idx * self.flows_per_bot + flow_idx) % len(self.decoy_hosts)
+                ]
+                specs.append(
+                    FlowSpec(
+                        src_host=bot,
+                        dst_host=decoy,
+                        sport=45000 + bot_idx * 16 + flow_idx,
+                        dport=80,
+                        packet_size=self.bot_packet_size,
+                        rate_pps=self.bot_rate_pps * float(rng.uniform(0.8, 1.2)),
+                        start=self.attack_start + float(rng.uniform(0.0, 0.5)),
+                        duration=self.attack_duration,
+                        bidirectional=False,
+                    )
+                )
+        return specs
+
+    def all_flows(self, benign_duration: float = 20.0) -> List[FlowSpec]:
+        return self.benign_flows(benign_duration) + self.attack_flows()

@@ -1,0 +1,79 @@
+"""The NAE scenario workload (Scenario 3 / Figures 8-9).
+
+Clients behind the edge switches download from the FTP server and browse
+the web server.  The workload is FTP-dominated (the paper: "the network is
+dominated by FTP flows"), so once the security application activates and
+pins FTP through the security-device path, the load balancer loses control
+of most traffic and the link-load asymmetry appears.
+
+Flows restart periodically (think successive file downloads), which lets
+the load balancer's soft-timeout rules expire and re-balance — the source
+of Figure 9's sawtooth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.simkernel.rng import SeededRng
+from repro.workloads.flows import FlowSpec
+
+
+@dataclass
+class NAEWorkload:
+    """FTP-heavy client workload against the Figure 8 servers."""
+
+    clients: Sequence[str]
+    ftp_server: str = "ftp"
+    web_server: str = "web"
+    seed: int = 33
+    duration: float = 60.0
+    #: Fraction of client sessions that are FTP downloads.
+    ftp_fraction: float = 0.8
+    #: Session length; flows restart after this, enabling re-balancing.
+    session_seconds: float = 6.0
+    ftp_rate_pps: float = 60.0
+    web_rate_pps: float = 15.0
+
+    def flows(self) -> List[FlowSpec]:
+        rng = SeededRng(self.seed, "nae")
+        specs: List[FlowSpec] = []
+        n_sessions = int(self.duration // self.session_seconds)
+        for client_idx, client in enumerate(self.clients):
+            for session in range(n_sessions):
+                start = session * self.session_seconds + float(
+                    rng.uniform(0.0, 0.5)
+                )
+                is_ftp = float(rng.uniform()) < self.ftp_fraction
+                if is_ftp:
+                    specs.append(
+                        FlowSpec(
+                            src_host=client,
+                            dst_host=self.ftp_server,
+                            sport=50000 + client_idx * 64 + session,
+                            dport=21,
+                            packet_size=1400,
+                            rate_pps=self.ftp_rate_pps,
+                            start=start,
+                            duration=self.session_seconds * 0.8,
+                            bidirectional=True,
+                            reverse_packet_size=1400,
+                            reverse_rate_pps=self.ftp_rate_pps,
+                        )
+                    )
+                else:
+                    specs.append(
+                        FlowSpec(
+                            src_host=client,
+                            dst_host=self.web_server,
+                            sport=52000 + client_idx * 64 + session,
+                            dport=80,
+                            packet_size=900,
+                            rate_pps=self.web_rate_pps,
+                            start=start,
+                            duration=self.session_seconds * 0.6,
+                            bidirectional=True,
+                        )
+                    )
+        return specs

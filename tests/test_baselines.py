@@ -1,0 +1,142 @@
+"""Tests for the baseline implementations (raw Spark-style jobs, Braga SOM)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.braga import BRAGA_FEATURES, BragaSOMDetector, braga_tuple
+from repro.baselines.raw_ddos import (
+    RawDDoSKMeansJob,
+    RawDDoSLogisticJob,
+    RawJobError,
+    build_time_window_filter,
+    documents_to_matrix,
+    raw_kmeans_source_lines,
+    raw_logistic_source_lines,
+)
+from repro.compute import ComputeCluster
+from repro.distdb import DatabaseCluster
+from repro.workloads.ddos import DDoSDatasetGenerator, DDoSDatasetSpec
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    generator = DDoSDatasetGenerator(DDoSDatasetSpec(scale=0.0008))
+    docs = generator.generate()
+    return generator.train_test_split(docs)
+
+
+@pytest.fixture(scope="module")
+def loaded_db(dataset):
+    train, test = dataset
+    database = DatabaseCluster(n_shards=2, replication=1)
+    database.insert_many("athena_features", [dict(d) for d in train + test])
+    return database
+
+
+class TestRawPipelinePieces:
+    def test_filter_construction(self):
+        filter_ = build_time_window_filter("flow", 0.0, 10.0)
+        assert "$and" in filter_
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(RawJobError):
+            build_time_window_filter("flow", 10.0, 0.0)
+
+    def test_matrix_extraction(self):
+        docs = [{"A": 1, "B": 2.5, "label": 1}, {"A": 3, "label": 0}]
+        matrix, labels = documents_to_matrix(docs, ["A", "B"], "label")
+        assert matrix.tolist() == [[1.0, 2.5], [3.0, 0.0]]
+        assert labels.tolist() == [1.0, 0.0]
+
+    def test_matrix_rejects_non_numeric(self):
+        with pytest.raises(RawJobError):
+            documents_to_matrix([{"A": "oops"}], ["A"], None)
+
+    def test_matrix_requires_columns(self):
+        with pytest.raises(RawJobError):
+            documents_to_matrix([{}], [], None)
+
+
+class TestRawKMeansJob:
+    def test_matches_paper_band(self, dataset):
+        train, test = dataset
+        job = RawDDoSKMeansJob(
+            DatabaseCluster(n_shards=1, replication=1),
+            ComputeCluster(2),
+            seed=1,
+        )
+        job.train(0.0, 1800.0, documents=train)
+        report = job.validate(1800.0, 3600.0, documents=test)
+        assert report.detection_rate > 0.97
+        assert report.false_alarm_rate < 0.08
+        assert report.total == len(test)
+
+    def test_fetches_from_database(self, dataset, loaded_db):
+        train, test = dataset
+        job = RawDDoSKMeansJob(loaded_db, ComputeCluster(2), seed=1)
+        job.train(0.0, 1800.0)
+        report = job.validate(1800.0, 3600.0)
+        assert report.total > 0
+
+    def test_validate_before_train_rejected(self):
+        job = RawDDoSKMeansJob(
+            DatabaseCluster(n_shards=1, replication=1), ComputeCluster(1)
+        )
+        with pytest.raises(RawJobError):
+            job.validate(0.0, 1.0, documents=[{}])
+
+    def test_report_renders(self, dataset):
+        train, test = dataset
+        job = RawDDoSKMeansJob(
+            DatabaseCluster(n_shards=1, replication=1), ComputeCluster(2), seed=1
+        )
+        job.train(0.0, 1800.0, documents=train)
+        report = job.validate(0.0, 3600.0, documents=test)
+        text = report.render()
+        assert "Detection Rate" in text
+
+
+class TestRawLogisticJob:
+    def test_matches_kmeans_quality(self, dataset):
+        train, test = dataset
+        job = RawDDoSLogisticJob(
+            DatabaseCluster(n_shards=1, replication=1),
+            ComputeCluster(2),
+            iterations=80,
+        )
+        job.train(0.0, 1800.0, documents=train)
+        report = job.validate(1800.0, 3600.0, documents=test)
+        assert report.detection_rate > 0.97
+
+
+class TestSLoCAccounting:
+    def test_raw_implementations_dwarf_athena_app(self):
+        """Table VIII's shape: the raw jobs are an order of magnitude larger."""
+        assert raw_kmeans_source_lines() > 250
+        assert raw_logistic_source_lines() > 150
+
+
+class TestBragaSOM:
+    def test_six_tuple(self):
+        doc = {
+            "FLOW_PACKET_COUNT": 10.0, "FLOW_BYTE_COUNT": 100.0,
+            "FLOW_DURATION_SEC": 2.0, "PAIR_FLOW_RATIO": 0.5,
+            "PAIR_FLOW": 0.0, "DST_FLOW_FANIN": 7.0,
+        }
+        values = braga_tuple(doc)
+        assert len(values) == len(BRAGA_FEATURES) == 6
+        assert values[3] == 50.0
+
+    def test_detects_ddos(self, dataset):
+        train, test = dataset
+        detector = BragaSOMDetector(rows=3, cols=3, epochs=3, seed=2)
+        detector.train(train, max_rows=4000)
+        dr, far = detector.evaluate(test)
+        assert dr > 0.9
+        assert far < 0.2
+
+    def test_untrained_predict_rejected(self):
+        from repro.errors import MLError
+
+        with pytest.raises(MLError):
+            BragaSOMDetector().predict([{}])

@@ -1,0 +1,262 @@
+"""Tests for the controller cluster: services, mastership, forwarding."""
+
+import pytest
+
+from repro.controller import ControllerCluster, ReactiveForwarding
+from repro.controller.events import HostEvent, PacketInEvent
+from repro.controller.topology import TopologyService
+from repro.dataplane.packet import Packet, flow_headers
+from repro.dataplane.topologies import enterprise_topology, linear_topology
+from repro.errors import ControllerError
+from repro.openflow import FlowStatsRequest, Match
+from repro.types import ConnectPoint
+
+
+def _learn_hosts(net, names=None):
+    for name, host in net.hosts.items():
+        if names and name not in names:
+            continue
+        net.inject_from_host(
+            name,
+            Packet(
+                headers=flow_headers(
+                    host.mac, "ff:ff:ff:ff:ff:ff", host.ip,
+                    "255.255.255.255", proto=17, sport=68, dport=67,
+                ),
+                size=64,
+            ),
+        )
+    net.sim.run(until=net.sim.now + 0.5)
+
+
+@pytest.fixture
+def stack():
+    topo = linear_topology(n_switches=3, hosts_per_switch=1)
+    cluster = ControllerCluster(topo.network, n_instances=1)
+    cluster.adopt_all()
+    cluster.start(poll=False)
+    fwd = ReactiveForwarding()
+    fwd.activate(cluster)
+    return topo.network, cluster, fwd
+
+
+class TestTopologyService:
+    def test_sync_from_network(self):
+        topo = linear_topology(n_switches=3)
+        service = TopologyService()
+        service.sync_from_network(topo.network)
+        assert service.switch_count() == 3
+        assert service.link_count() == 2
+
+    def test_shortest_path(self):
+        topo = linear_topology(n_switches=4)
+        service = TopologyService()
+        service.sync_from_network(topo.network)
+        assert service.shortest_path(1, 4) == [1, 2, 3, 4]
+        assert service.shortest_path(2, 2) == [2]
+
+    def test_port_toward(self):
+        topo = linear_topology(n_switches=3)
+        service = TopologyService()
+        service.sync_from_network(topo.network)
+        assert service.port_toward(1, 2) == 2
+        assert service.port_toward(2, 1) == 1
+        with pytest.raises(ControllerError):
+            service.port_toward(1, 3)
+
+    def test_infrastructure_ports(self):
+        topo = linear_topology(n_switches=2, hosts_per_switch=1)
+        service = TopologyService()
+        service.sync_from_network(topo.network)
+        assert service.is_infrastructure_port(ConnectPoint(1, 2))
+        assert not service.is_infrastructure_port(ConnectPoint(1, 100))
+
+    def test_link_weight_changes_path(self):
+        topo = enterprise_topology()
+        service = TopologyService()
+        service.sync_from_network(topo.network)
+        path = service.shortest_path(1, 2)
+        assert path == [1, 2]
+        service.set_link_weight(1, 2, 100.0)
+        assert service.shortest_path(1, 2) != [1, 2]
+
+    def test_remove_link_disconnects(self):
+        topo = linear_topology(n_switches=2)
+        service = TopologyService()
+        service.sync_from_network(topo.network)
+        service.remove_link(1, 2)
+        assert service.shortest_path(1, 2) is None
+
+
+class TestMastership:
+    def test_domains_assigned(self):
+        topo = enterprise_topology()
+        cluster = ControllerCluster(topo.network, n_instances=3)
+        cluster.adopt_domains(topo.domains)
+        assert cluster.mastership.instance_count() == 3
+        for idx, domain in enumerate(topo.domains):
+            for dpid in domain:
+                assert cluster.mastership.is_master(idx, dpid)
+
+    def test_too_many_domains_rejected(self):
+        topo = linear_topology(n_switches=2)
+        cluster = ControllerCluster(topo.network, n_instances=1)
+        with pytest.raises(ControllerError):
+            cluster.adopt_domains([[1], [2]])
+
+    def test_send_routes_via_master(self):
+        topo = enterprise_topology()
+        cluster = ControllerCluster(topo.network, n_instances=3)
+        cluster.adopt_domains(topo.domains)
+        dpid = topo.domains[2][0]
+        cluster.send(dpid, FlowStatsRequest(match=Match()))
+        assert cluster.instances[2].messages_to_switches == 1
+        assert cluster.instances[0].messages_to_switches == 0
+
+    def test_failover_moves_switches(self):
+        topo = enterprise_topology()
+        cluster = ControllerCluster(topo.network, n_instances=3)
+        cluster.adopt_domains(topo.domains)
+        moved = cluster.fail_instance(0)
+        assert sorted(moved) == sorted(topo.domains[0])
+        for dpid in moved:
+            assert cluster.mastership.master_of(dpid) != 0
+        # Messages still route after failover.
+        cluster.send(moved[0], FlowStatsRequest(match=Match()))
+
+
+class TestHostLearning:
+    def test_hosts_learned_from_packet_in(self, stack):
+        net, cluster, _fwd = stack
+        _learn_hosts(net)
+        assert cluster.hosts.host_count() == 3
+        location = cluster.hosts.locate_ip(net.hosts["h1"].ip)
+        assert location.point.dpid == 1
+
+    def test_infrastructure_sightings_ignored(self, stack):
+        net, cluster, _fwd = stack
+        _learn_hosts(net)
+        h1 = net.hosts["h1"]
+        # A sighting on an inter-switch port must not relocate the host.
+        cluster.hosts.learn(h1.mac, h1.ip, 2, 1, now=9.0)
+        assert cluster.hosts.locate_mac(h1.mac).point.dpid == 1
+
+    def test_host_events_published(self, stack):
+        net, cluster, _fwd = stack
+        events = []
+        cluster.bus.subscribe(HostEvent, events.append)
+        _learn_hosts(net)
+        assert len(events) == 3
+
+
+class TestReactiveForwarding:
+    def test_end_to_end_delivery(self, stack):
+        net, cluster, fwd = stack
+        _learn_hosts(net)
+        h1, h3 = net.hosts["h1"], net.hosts["h3"]
+        before = h3.rx_packets
+        for i in range(10):
+            net.inject_from_host(
+                "h1",
+                Packet(headers=flow_headers(
+                    h1.mac, h3.mac, h1.ip, h3.ip, proto=6, sport=5000, dport=80,
+                ), size=400),
+                when=net.sim.now + 0.01 * i,
+            )
+        net.sim.run(until=net.sim.now + 1.0)
+        assert h3.rx_packets - before == 10
+        assert fwd.paths_installed >= 1
+        # Only the first flow packet punts (the rest is learning floods).
+        punts_before_flow = 4  # 3 learning broadcasts reached s1 + 1 flow miss
+        assert net.switches[1].packet_in_count <= punts_before_flow
+
+    def test_unknown_destination_floods(self, stack):
+        net, cluster, fwd = stack
+        h1 = net.hosts["h1"]
+        net.inject_from_host(
+            "h1",
+            Packet(headers=flow_headers(
+                h1.mac, "aa:99:99:99:99:99", h1.ip, "10.99.99.99",
+                proto=6, sport=1, dport=2,
+            )),
+        )
+        net.sim.run(until=net.sim.now + 1.0)
+        assert fwd.flooded >= 1
+
+    def test_rules_attributed_to_app(self, stack):
+        net, cluster, fwd = stack
+        _learn_hosts(net)
+        h1, h3 = net.hosts["h1"], net.hosts["h3"]
+        net.inject_from_host(
+            "h1",
+            Packet(headers=flow_headers(
+                h1.mac, h3.mac, h1.ip, h3.ip, proto=6, sport=5000, dport=80,
+            )),
+        )
+        net.sim.run(until=net.sim.now + 1.0)
+        rules = cluster.flow_rules.rules_of(1, app_id="fwd")
+        assert rules
+        match = rules[0].match
+        assert cluster.flow_rules.app_of_flow(1, match) == "fwd"
+
+    def test_flow_removed_syncs_bookkeeping(self, stack):
+        net, cluster, fwd = stack
+        _learn_hosts(net)
+        h1, h3 = net.hosts["h1"], net.hosts["h3"]
+        net.inject_from_host(
+            "h1",
+            Packet(headers=flow_headers(
+                h1.mac, h3.mac, h1.ip, h3.ip, proto=6, sport=5000, dport=80,
+            )),
+        )
+        net.sim.run(until=net.sim.now + 1.0)
+        assert cluster.flow_rules.total_rules() > 0
+        # Idle timeout (10s default) evicts everything eventually.
+        net.sim.run(until=net.sim.now + 30.0)
+        assert cluster.flow_rules.total_rules() == 0
+
+    def test_deactivate_stops_handling(self, stack):
+        net, cluster, fwd = stack
+        _learn_hosts(net)
+        fwd.deactivate()
+        before = fwd.paths_installed
+        h1, h3 = net.hosts["h1"], net.hosts["h3"]
+        net.inject_from_host(
+            "h1",
+            Packet(headers=flow_headers(
+                h1.mac, h3.mac, h1.ip, h3.ip, proto=6, sport=6000, dport=80,
+            )),
+        )
+        net.sim.run(until=net.sim.now + 0.5)
+        assert fwd.paths_installed == before
+
+
+class TestStatsPoller:
+    def test_background_polling_generates_replies(self):
+        topo = linear_topology(n_switches=2)
+        cluster = ControllerCluster(topo.network, n_instances=1, poll_interval=1.0)
+        cluster.adopt_all()
+        cluster.start(poll=True)
+        from repro.controller.events import StatsEvent
+
+        events = []
+        cluster.bus.subscribe(StatsEvent, events.append)
+        topo.network.sim.run(until=3.5)
+        # 3 polls x 2 switches x 2 request kinds = 12 replies.
+        assert len(events) == 12
+        assert all(not e.athena_marked for e in events)
+
+    def test_athena_marked_xids(self):
+        topo = linear_topology(n_switches=1)
+        cluster = ControllerCluster(topo.network, n_instances=1)
+        cluster.adopt_all()
+        from repro.controller.events import StatsEvent
+
+        events = []
+        instance = cluster.instances[0]
+        instance.bus.subscribe(StatsEvent, events.append)
+        request = FlowStatsRequest(match=Match())
+        instance.mark_athena_xid(request.xid)
+        instance.send(1, request)
+        assert len(events) == 1
+        assert events[0].athena_marked

@@ -1,0 +1,178 @@
+"""Focused tests for the LB and security-redirect controller apps."""
+
+import collections
+
+import pytest
+
+from repro.controller import (
+    ControllerCluster,
+    LoadBalancerApp,
+    ReactiveForwarding,
+    SecurityRedirectApp,
+)
+from repro.dataplane.packet import Packet, flow_headers
+from repro.dataplane.topologies import nae_topology
+from repro.workloads.flows import FlowSpec, TrafficSchedule
+
+
+@pytest.fixture
+def stack():
+    topo = nae_topology(clients_per_edge=1)
+    cluster = ControllerCluster(topo.network, n_instances=1)
+    cluster.adopt_all()
+    cluster.start(poll=False)
+    forwarding = ReactiveForwarding(priority=5)
+    forwarding.activate(cluster)
+    schedule = TrafficSchedule(topo.network)
+    schedule.prime_arp()
+    topo.network.sim.run(until=0.5)
+    return topo, cluster, schedule
+
+
+def _server_ips(topo):
+    return topo.network.hosts["ftp"].ip, topo.network.hosts["web"].ip
+
+
+class TestLoadBalancerApp:
+    def test_alternate_paths_used(self, stack):
+        topo, cluster, schedule = stack
+        ftp_ip, web_ip = _server_ips(topo)
+        balancer = LoadBalancerApp(server_ips=[ftp_ip, web_ip],
+                                   priority=20, idle_timeout=3.0)
+        balancer.activate(cluster)
+        # Several distinct flows toward the FTP server.
+        for idx in range(6):
+            schedule.add_flow(
+                FlowSpec(src_host="h1", dst_host="ftp", sport=42000 + idx,
+                         dport=2100 + idx, rate_pps=5.0, start=1.0 + idx * 0.2,
+                         duration=3.0)
+            )
+        topo.network.sim.run(until=6.0)
+        # Both candidate paths carry rules: S3 (alternate) and S6 (security).
+        s3_rules = cluster.flow_rules.rules_of(3, app_id="lb")
+        s6_rules = cluster.flow_rules.rules_of(6, app_id="lb")
+        assert s3_rules and s6_rules
+
+    def test_ignores_non_server_traffic(self, stack):
+        topo, cluster, schedule = stack
+        ftp_ip, web_ip = _server_ips(topo)
+        balancer = LoadBalancerApp(server_ips=[ftp_ip], priority=20)
+        balancer.activate(cluster)
+        # Client-to-client flow: only plain forwarding should handle it.
+        schedule.add_flow(
+            FlowSpec(src_host="h1", dst_host="h2", rate_pps=5.0,
+                     start=1.0, duration=2.0)
+        )
+        topo.network.sim.run(until=4.0)
+        assert balancer.rules_installed == 0
+
+    def test_balances_return_traffic(self, stack):
+        topo, cluster, schedule = stack
+        ftp_ip, web_ip = _server_ips(topo)
+        balancer = LoadBalancerApp(server_ips=[ftp_ip], priority=20)
+        balancer.activate(cluster)
+        schedule.add_flow(
+            FlowSpec(src_host="h1", dst_host="ftp", sport=42000, dport=21,
+                     rate_pps=10.0, start=1.0, duration=3.0,
+                     bidirectional=True)
+        )
+        topo.network.sim.run(until=5.0)
+        # The reverse direction (ip_src == server) was handled by the LB.
+        reverse_rules = [
+            record
+            for dpid in topo.network.switches
+            for record in cluster.flow_rules.rules_of(dpid, app_id="lb")
+            if record.match.ip_src == ftp_ip
+        ]
+        assert reverse_rules
+
+    def test_deactivate(self, stack):
+        topo, cluster, schedule = stack
+        ftp_ip, _ = _server_ips(topo)
+        balancer = LoadBalancerApp(server_ips=[ftp_ip], priority=20)
+        balancer.activate(cluster)
+        balancer.deactivate()
+        schedule.add_flow(
+            FlowSpec(src_host="h1", dst_host="ftp", sport=43000, dport=21,
+                     rate_pps=5.0, start=1.0, duration=2.0)
+        )
+        topo.network.sim.run(until=4.0)
+        assert balancer.rules_installed == 0
+
+
+class TestSecurityRedirectApp:
+    def test_ftp_pinned_through_security_switch(self, stack):
+        topo, cluster, schedule = stack
+        security = SecurityRedirectApp(security_dpid=6,
+                                       inspect_ports=(20, 21), priority=30)
+        security.activate(cluster)
+        schedule.add_flow(
+            FlowSpec(src_host="h1", dst_host="ftp", sport=44000, dport=21,
+                     rate_pps=10.0, start=1.0, duration=3.0)
+        )
+        topo.network.sim.run(until=5.0)
+        # The flow's rules traverse S6 (and S7 behind it).
+        s6_rules = cluster.flow_rules.rules_of(6, app_id="security")
+        s7_rules = cluster.flow_rules.rules_of(7, app_id="security")
+        assert s6_rules and s7_rules
+        # And S6 actually forwarded the packets.
+        assert topo.network.switches[6].packets_forwarded > 0
+        assert topo.network.hosts["ftp"].rx_packets > 0
+
+    def test_web_traffic_not_redirected(self, stack):
+        topo, cluster, schedule = stack
+        security = SecurityRedirectApp(security_dpid=6,
+                                       inspect_ports=(20, 21), priority=30)
+        security.activate(cluster)
+        schedule.add_flow(
+            FlowSpec(src_host="h1", dst_host="web", sport=45000, dport=80,
+                     rate_pps=10.0, start=1.0, duration=2.0)
+        )
+        topo.network.sim.run(until=4.0)
+        assert security.rules_installed == 0
+        assert topo.network.hosts["web"].rx_packets > 0
+
+    def test_priority_beats_lb_in_flow_table(self, stack):
+        """When both apps install rules for the same FTP flow, the
+        security app's higher priority wins the data-plane lookup."""
+        topo, cluster, schedule = stack
+        ftp_ip, web_ip = _server_ips(topo)
+        balancer = LoadBalancerApp(server_ips=[ftp_ip, web_ip],
+                                   priority=20, idle_timeout=30.0)
+        balancer.activate(cluster)
+        security = SecurityRedirectApp(security_dpid=6,
+                                       inspect_ports=(20, 21), priority=30)
+        security.activate(cluster)
+        schedule.add_flow(
+            FlowSpec(src_host="h1", dst_host="ftp", sport=46000, dport=21,
+                     rate_pps=10.0, start=1.0, duration=3.0)
+        )
+        topo.network.sim.run(until=5.0)
+        # Look up the winning entry for the flow's headers at S2.
+        h1 = topo.network.hosts["h1"]
+        ftp = topo.network.hosts["ftp"]
+        headers = flow_headers(h1.mac, ftp.mac, h1.ip, ftp.ip,
+                               proto=6, sport=46000, dport=21)
+        headers["in_port"] = 1
+        winner = topo.network.switches[2].table.lookup(dict(headers))
+        assert winner is not None
+        assert winner.app_id == "security"
+
+    def test_reverse_ftp_also_inspected(self, stack):
+        topo, cluster, schedule = stack
+        security = SecurityRedirectApp(security_dpid=6,
+                                       inspect_ports=(20, 21), priority=30)
+        security.activate(cluster)
+        schedule.add_flow(
+            FlowSpec(src_host="h1", dst_host="ftp", sport=47000, dport=21,
+                     rate_pps=10.0, start=1.0, duration=3.0,
+                     bidirectional=True)
+        )
+        topo.network.sim.run(until=5.0)
+        ftp_ip, _ = _server_ips(topo)
+        reverse_rules = [
+            record
+            for record in cluster.flow_rules.rules_of(6, app_id="security")
+            if record.match.ip_src == ftp_ip
+        ]
+        assert reverse_rules

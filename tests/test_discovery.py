@@ -1,0 +1,131 @@
+"""Tests for LLDP-based link discovery."""
+
+import pytest
+
+from repro.controller import ControllerCluster, ReactiveForwarding
+from repro.controller.discovery import LinkDiscoveryService
+from repro.controller.topology import TopologyService
+from repro.dataplane.topologies import (
+    enterprise_topology,
+    linear_topology,
+    nae_topology,
+)
+
+
+def _bare_cluster(topo):
+    """A cluster whose topology service starts empty (no omniscient sync)."""
+    cluster = ControllerCluster(topo.network, n_instances=1)
+    cluster.adopt_all()
+    cluster.topology = TopologyService()  # discard the synced view
+    # Host service must share the new topology instance.
+    from repro.controller.hosts import HostService
+
+    cluster.hosts = HostService(cluster.topology)
+    return cluster
+
+
+class TestLLDPDiscovery:
+    def test_discovers_linear_topology(self):
+        topo = linear_topology(n_switches=4)
+        cluster = _bare_cluster(topo)
+        discovery = LinkDiscoveryService(cluster)
+        discovery.probe_all()
+        topo.network.sim.run(until=0.5)
+        assert cluster.topology.link_count() == 3
+        assert cluster.topology.shortest_path(1, 4) == [1, 2, 3, 4]
+
+    def test_discovers_enterprise_topology(self):
+        topo = enterprise_topology(hosts_per_edge=0)
+        cluster = _bare_cluster(topo)
+        discovery = LinkDiscoveryService(cluster)
+        discovery.probe_all()
+        topo.network.sim.run(until=0.5)
+        assert cluster.topology.link_count() == 48
+        assert cluster.topology.switch_count() == 18
+
+    def test_matches_omniscient_sync(self):
+        topo = nae_topology()
+        cluster = _bare_cluster(topo)
+        discovery = LinkDiscoveryService(cluster)
+        discovery.probe_all()
+        topo.network.sim.run(until=0.5)
+        reference = TopologyService()
+        reference.sync_from_network(topo.network)
+        assert cluster.topology.link_count() == reference.link_count()
+        for a in topo.network.switches:
+            for b in topo.network.switches:
+                discovered = cluster.topology.shortest_path(a, b)
+                expected = reference.shortest_path(a, b)
+                if expected is None:
+                    assert discovered is None
+                else:
+                    assert discovered is not None
+                    assert len(discovered) == len(expected)
+
+    def test_port_mapping_correct(self):
+        topo = linear_topology(n_switches=3)
+        cluster = _bare_cluster(topo)
+        LinkDiscoveryService(cluster).probe_all()
+        topo.network.sim.run(until=0.5)
+        reference = TopologyService()
+        reference.sync_from_network(topo.network)
+        assert cluster.topology.port_toward(1, 2) == reference.port_toward(1, 2)
+        assert cluster.topology.port_toward(2, 3) == reference.port_toward(2, 3)
+
+    def test_idempotent_probing(self):
+        topo = linear_topology(n_switches=3)
+        cluster = _bare_cluster(topo)
+        discovery = LinkDiscoveryService(cluster)
+        discovery.probe_all()
+        topo.network.sim.run(until=0.5)
+        first = discovery.links_discovered
+        discovery.probe_all()
+        topo.network.sim.run(until=1.0)
+        assert discovery.links_discovered == first
+
+    def test_periodic_probing(self):
+        topo = linear_topology(n_switches=2)
+        cluster = _bare_cluster(topo)
+        discovery = LinkDiscoveryService(cluster)
+        discovery.start(interval=1.0)
+        topo.network.sim.run(until=3.5)
+        assert discovery.probes_sent >= 3 * 3  # >= 3 rounds over 3 ports
+        assert cluster.topology.link_count() == 1
+
+    def test_probes_do_not_pollute_host_table(self):
+        topo = linear_topology(n_switches=2, hosts_per_switch=1)
+        cluster = _bare_cluster(topo)
+        LinkDiscoveryService(cluster).probe_all()
+        topo.network.sim.run(until=0.5)
+        assert cluster.hosts.host_count() == 0
+
+    def test_forwarding_ignores_lldp(self):
+        topo = linear_topology(n_switches=2, hosts_per_switch=1)
+        cluster = _bare_cluster(topo)
+        forwarding = ReactiveForwarding()
+        forwarding.activate(cluster)
+        LinkDiscoveryService(cluster).probe_all()
+        topo.network.sim.run(until=0.5)
+        assert forwarding.flooded == 0
+        assert forwarding.paths_installed == 0
+
+    def test_discovery_enables_correct_forwarding(self):
+        """End-to-end: LLDP-discovered topology drives real forwarding."""
+        from repro.workloads.flows import FlowSpec, TrafficSchedule
+
+        topo = linear_topology(n_switches=3, hosts_per_switch=1)
+        cluster = _bare_cluster(topo)
+        discovery = LinkDiscoveryService(cluster)
+        forwarding = ReactiveForwarding()
+        forwarding.activate(cluster)
+        discovery.probe_all()
+        topo.network.sim.run(until=0.5)
+        schedule = TrafficSchedule(topo.network)
+        schedule.prime_arp(topo.network.sim.now)
+        topo.network.sim.run(until=1.0)
+        schedule.add_flow(
+            FlowSpec(src_host="h1", dst_host="h3", rate_pps=10.0,
+                     start=1.5, duration=2.0)
+        )
+        topo.network.sim.run(until=5.0)
+        assert topo.network.hosts["h3"].rx_packets >= 20  # flow + broadcasts

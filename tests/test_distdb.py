@@ -1,0 +1,345 @@
+"""Tests for the distributed document store."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.distdb import Collection, DatabaseCluster, aggregate, matches_filter
+from repro.distdb.query import equality_value, get_path, validate_filter
+from repro.errors import DatabaseError, QueryError
+
+
+class TestFilterLanguage:
+    def test_empty_filter_matches(self):
+        assert matches_filter({"a": 1}, None)
+        assert matches_filter({"a": 1}, {})
+
+    def test_equality(self):
+        assert matches_filter({"a": 1}, {"a": 1})
+        assert not matches_filter({"a": 2}, {"a": 1})
+        assert not matches_filter({}, {"a": 1})
+
+    def test_comparisons(self):
+        doc = {"x": 5}
+        assert matches_filter(doc, {"x": {"$gt": 4}})
+        assert matches_filter(doc, {"x": {"$gte": 5}})
+        assert matches_filter(doc, {"x": {"$lt": 6}})
+        assert matches_filter(doc, {"x": {"$lte": 5}})
+        assert matches_filter(doc, {"x": {"$ne": 4}})
+        assert not matches_filter(doc, {"x": {"$gt": 5}})
+
+    def test_range_conjunction(self):
+        assert matches_filter({"x": 5}, {"x": {"$gt": 1, "$lt": 10}})
+        assert not matches_filter({"x": 50}, {"x": {"$gt": 1, "$lt": 10}})
+
+    def test_in_nin(self):
+        assert matches_filter({"x": 2}, {"x": {"$in": [1, 2]}})
+        assert matches_filter({"x": 3}, {"x": {"$nin": [1, 2]}})
+
+    def test_exists(self):
+        assert matches_filter({"x": 1}, {"x": {"$exists": True}})
+        assert matches_filter({}, {"x": {"$exists": False}})
+
+    def test_logical(self):
+        doc = {"a": 1, "b": 2}
+        assert matches_filter(doc, {"$and": [{"a": 1}, {"b": 2}]})
+        assert matches_filter(doc, {"$or": [{"a": 9}, {"b": 2}]})
+        assert matches_filter(doc, {"$nor": [{"a": 9}, {"b": 9}]})
+        assert not matches_filter(doc, {"$or": [{"a": 9}, {"b": 9}]})
+
+    def test_not(self):
+        assert matches_filter({"x": 5}, {"x": {"$not": {"$gt": 10}}})
+        assert not matches_filter({"x": 50}, {"x": {"$not": {"$gt": 10}}})
+
+    def test_dotted_paths(self):
+        doc = {"meta": {"app": "fwd"}}
+        assert get_path(doc, "meta.app") == "fwd"
+        assert matches_filter(doc, {"meta.app": "fwd"})
+        assert get_path(doc, "meta.missing.deep") is None
+
+    def test_missing_value_fails_ordered_comparison(self):
+        assert not matches_filter({}, {"x": {"$gt": 1}})
+
+    def test_cross_type_comparison_is_false_not_error(self):
+        assert not matches_filter({"x": "abc"}, {"x": {"$gt": 1}})
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(QueryError):
+            matches_filter({"x": 1}, {"x": {"$bogus": 1}})
+        with pytest.raises(QueryError):
+            validate_filter({"x": {"$bogus": 1}})
+        with pytest.raises(QueryError):
+            validate_filter({"$xyz": []})
+
+    def test_equality_value_extraction(self):
+        assert equality_value({"k": 5}, "k") == 5
+        assert equality_value({"k": {"$eq": 5}}, "k") == 5
+        assert equality_value({"k": {"$gt": 5}}, "k") is None
+        assert equality_value(None, "k") is None
+
+    @given(
+        st.lists(
+            st.dictionaries(
+                st.sampled_from(["a", "b"]),
+                st.integers(min_value=0, max_value=10),
+                max_size=2,
+            ),
+            max_size=20,
+        ),
+        st.integers(min_value=0, max_value=10),
+    )
+    def test_gt_filter_equals_python_predicate(self, docs, bound):
+        """$gt must agree with the equivalent Python comparison."""
+        expected = [d for d in docs if "a" in d and d["a"] > bound]
+        actual = [d for d in docs if matches_filter(d, {"a": {"$gt": bound}})]
+        assert actual == expected
+
+
+class TestCollection:
+    def test_insert_and_find(self):
+        coll = Collection("c")
+        coll.insert_many([{"a": i} for i in range(5)])
+        assert len(coll) == 5
+        assert len(coll.find({"a": {"$gte": 3}})) == 2
+
+    def test_insert_assigns_ids(self):
+        coll = Collection("c")
+        id1 = coll.insert_one({"a": 1})
+        id2 = coll.insert_one({"a": 2})
+        assert id1 != id2
+
+    def test_duplicate_id_rejected(self):
+        coll = Collection("c")
+        coll.insert_one({"_id": 1, "a": 1})
+        with pytest.raises(DatabaseError):
+            coll.insert_one({"_id": 1, "a": 2})
+
+    def test_insert_copies_document(self):
+        coll = Collection("c")
+        doc = {"a": 1}
+        coll.insert_one(doc)
+        doc["a"] = 99
+        assert coll.find({"a": 1})
+
+    def test_sort_and_limit(self):
+        coll = Collection("c")
+        coll.insert_many([{"a": i % 3, "b": i} for i in range(9)])
+        results = coll.find(sort=[("a", 1), ("b", -1)], limit=3)
+        assert [r["a"] for r in results] == [0, 0, 0]
+        assert results[0]["b"] == 6
+
+    def test_projection(self):
+        coll = Collection("c")
+        coll.insert_one({"a": 1, "b": 2, "c": 3})
+        result = coll.find(projection=["a"])[0]
+        assert "b" not in result
+        assert result["a"] == 1
+
+    def test_delete_many(self):
+        coll = Collection("c")
+        coll.insert_many([{"a": i} for i in range(10)])
+        assert coll.delete_many({"a": {"$lt": 4}}) == 4
+        assert len(coll) == 6
+
+    def test_update_many(self):
+        coll = Collection("c")
+        coll.insert_many([{"a": i} for i in range(4)])
+        assert coll.update_many({"a": {"$gte": 2}}, {"flag": True}) == 2
+        assert coll.count({"flag": True}) == 2
+
+    def test_index_used_and_consistent(self):
+        coll = Collection("c")
+        coll.insert_many([{"k": i % 5, "v": i} for i in range(100)])
+        coll.create_index("k")
+        indexed = sorted(d["v"] for d in coll.find({"k": 2}))
+        coll2 = Collection("c2")
+        coll2.insert_many([{"k": i % 5, "v": i} for i in range(100)])
+        unindexed = sorted(d["v"] for d in coll2.find({"k": 2}))
+        assert indexed == unindexed
+
+    def test_index_maintained_across_mutations(self):
+        coll = Collection("c")
+        coll.create_index("k")
+        coll.insert_many([{"k": 1, "v": i} for i in range(5)])
+        coll.delete_many({"v": {"$lt": 2}})
+        coll.update_many({"v": 4}, {"k": 2})
+        assert coll.count({"k": 1}) == 2
+        assert coll.count({"k": 2}) == 1
+
+
+class TestAggregation:
+    DOCS = [
+        {"sw": 1, "pkts": 10},
+        {"sw": 1, "pkts": 30},
+        {"sw": 2, "pkts": 5},
+    ]
+
+    def test_group_sum(self):
+        rows = aggregate(self.DOCS, [{"$group": {"_id": "$sw", "total": {"$sum": "$pkts"}}}])
+        totals = {row["_id"]: row["total"] for row in rows}
+        assert totals == {1: 40, 2: 5}
+
+    def test_group_avg_min_max_count(self):
+        rows = aggregate(
+            self.DOCS,
+            [
+                {
+                    "$group": {
+                        "_id": "$sw",
+                        "avg": {"$avg": "$pkts"},
+                        "low": {"$min": "$pkts"},
+                        "high": {"$max": "$pkts"},
+                        "n": {"$count": 1},
+                    }
+                }
+            ],
+        )
+        by_sw = {row["_id"]: row for row in rows}
+        assert by_sw[1]["avg"] == 20
+        assert by_sw[1]["low"] == 10
+        assert by_sw[1]["high"] == 30
+        assert by_sw[1]["n"] == 2
+
+    def test_match_sort_limit_pipeline(self):
+        rows = aggregate(
+            self.DOCS,
+            [
+                {"$match": {"pkts": {"$gte": 5}}},
+                {"$sort": {"pkts": -1}},
+                {"$limit": 2},
+            ],
+        )
+        assert [row["pkts"] for row in rows] == [30, 10]
+
+    def test_compound_group_key(self):
+        docs = [{"a": 1, "b": "x", "v": 1}, {"a": 1, "b": "x", "v": 2}]
+        rows = aggregate(
+            docs,
+            [{"$group": {"_id": {"a": "$a", "b": "$b"}, "t": {"$sum": "$v"}}}],
+        )
+        assert rows[0]["_id"] == {"a": 1, "b": "x"}
+        assert rows[0]["t"] == 3
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(QueryError):
+            aggregate([], [{"$teleport": 1}])
+
+    def test_group_requires_id(self):
+        with pytest.raises(QueryError):
+            aggregate([], [{"$group": {"t": {"$sum": "$x"}}}])
+
+
+class TestCluster:
+    def test_insert_routes_by_shard_key(self):
+        cluster = DatabaseCluster(n_shards=3, shard_key="k", replication=1)
+        cluster.insert_many("c", [{"k": i} for i in range(60)])
+        occupied = [s.document_count() for s in cluster.shards]
+        assert sum(occupied) == 60
+        assert all(count > 0 for count in occupied)
+
+    def test_find_scatter_gather(self):
+        cluster = DatabaseCluster(n_shards=3, replication=1)
+        cluster.insert_many("c", [{"v": i} for i in range(20)])
+        assert len(cluster.find("c", {"v": {"$gte": 10}})) == 10
+        assert cluster.count("c", {"v": {"$lt": 5}}) == 5
+
+    def test_find_sorted_limited_across_shards(self):
+        cluster = DatabaseCluster(n_shards=3, replication=1)
+        cluster.insert_many("c", [{"v": i} for i in range(20)])
+        top = cluster.find("c", sort=[("v", -1)], limit=3)
+        assert [d["v"] for d in top] == [19, 18, 17]
+
+    def test_replication_survives_primary_loss(self):
+        cluster = DatabaseCluster(n_shards=3, replication=2)
+        cluster.insert_many("c", [{"v": i} for i in range(30)])
+        primary_total = sum(
+            len(s.collection("c")) for s in cluster.shards if s.has_collection("c")
+        )
+        replica_total = sum(
+            len(s.collection("c__replica"))
+            for s in cluster.shards
+            if s.has_collection("c__replica")
+        )
+        assert primary_total == 30
+        assert replica_total == 30
+
+    def test_failed_shard_raises_when_pinned(self):
+        cluster = DatabaseCluster(n_shards=2, shard_key="k", replication=1)
+        cluster.insert_one("c", {"k": 1})
+        # Find the shard holding k=1 and take it down.
+        holder = next(s for s in cluster.shards if s.document_count() == 1)
+        cluster.fail_shard(holder.node_id)
+        with pytest.raises(DatabaseError):
+            cluster.find("c", {"k": {"$eq": 1}})
+        cluster.recover_shard(holder.node_id)
+        assert len(cluster.find("c", {"k": {"$eq": 1}})) == 1
+
+    def test_aggregate_distributed_group_matches_central(self):
+        cluster = DatabaseCluster(n_shards=3, replication=1)
+        docs = [{"sw": i % 4, "pkts": i} for i in range(100)]
+        cluster.insert_many("c", docs)
+        pipeline = [{"$group": {"_id": "$sw", "total": {"$sum": "$pkts"}}}]
+        distributed = {r["_id"]: r["total"] for r in cluster.aggregate("c", pipeline)}
+        central = {r["_id"]: r["total"] for r in aggregate(docs, pipeline)}
+        assert distributed == central
+
+    def test_aggregate_avg_falls_back_to_central(self):
+        cluster = DatabaseCluster(n_shards=3, replication=1)
+        docs = [{"sw": i % 2, "pkts": i} for i in range(10)]
+        cluster.insert_many("c", docs)
+        pipeline = [{"$group": {"_id": "$sw", "mean": {"$avg": "$pkts"}}}]
+        result = {r["_id"]: r["mean"] for r in cluster.aggregate("c", pipeline)}
+        assert result == {0: 4.0, 1: 5.0}
+
+    def test_delete_many_cleans_replicas(self):
+        cluster = DatabaseCluster(n_shards=3, replication=2)
+        cluster.insert_many("c", [{"v": i} for i in range(10)])
+        assert cluster.delete_many("c", None) == 10
+        assert cluster.document_count() == 0
+
+    def test_op_stats_accumulate(self):
+        cluster = DatabaseCluster(n_shards=2, replication=1)
+        cluster.insert_many("c", [{"v": 1}])
+        cluster.find("c")
+        stats = cluster.op_stats()
+        assert stats["insert"] >= 1
+        assert stats["router_ops"] >= 2
+        assert stats["bytes_written"] > 0
+
+
+class TestPipelineExtras:
+    def test_skip_stage(self):
+        docs = [{"v": i} for i in range(10)]
+        rows = aggregate(docs, [{"$sort": {"v": 1}}, {"$skip": 7}])
+        assert [row["v"] for row in rows] == [7, 8, 9]
+
+    def test_project_stage(self):
+        rows = aggregate(
+            [{"a": 1, "b": 2, "c": 3}], [{"$project": ["a", "c"]}]
+        )
+        assert rows == [{"a": 1, "c": 3}]
+
+    def test_group_first_last(self):
+        docs = [{"k": 1, "v": 10}, {"k": 1, "v": 20}, {"k": 1, "v": 30}]
+        rows = aggregate(
+            docs,
+            [{"$group": {"_id": "$k", "first": {"$first": "$v"},
+                         "last": {"$last": "$v"}}}],
+        )
+        assert rows[0]["first"] == 10
+        assert rows[0]["last"] == 30
+
+    def test_cluster_pipeline_with_sort_and_limit(self):
+        cluster = DatabaseCluster(n_shards=3, replication=1)
+        cluster.insert_many(
+            "c", [{"sw": i % 5, "pkts": i} for i in range(50)]
+        )
+        rows = cluster.aggregate(
+            "c",
+            [
+                {"$group": {"_id": "$sw", "total": {"$sum": "$pkts"}}},
+                {"$sort": {"total": -1}},
+                {"$limit": 2},
+            ],
+        )
+        assert len(rows) == 2
+        assert rows[0]["total"] >= rows[1]["total"]

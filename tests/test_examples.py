@@ -1,0 +1,57 @@
+"""Smoke tests: every example script runs end-to-end.
+
+Each example is executed in-process (``runpy``) with stdout captured, so a
+broken public API surfaces here even if no unit test touches it the same
+way the examples do.
+"""
+
+import runpy
+import sys
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run_example(name: str, argv=None, capsys=None):
+    path = EXAMPLES_DIR / name
+    old_argv = sys.argv
+    sys.argv = [str(path)] + list(argv or [])
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out if capsys else ""
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = _run_example("quickstart.py", capsys=capsys)
+        assert "top flows by packet count" in out
+        assert "blocked" in out
+
+    def test_ddos_detection(self, capsys):
+        out = _run_example("ddos_detection.py", argv=["0.0005"], capsys=capsys)
+        assert "Detection Rate" in out
+        assert "Logistic Regression" in out
+
+    def test_lfa_mitigation(self, capsys):
+        out = _run_example("lfa_mitigation.py", capsys=capsys)
+        assert "true bots flagged   : 3/3" in out
+        assert "benign false alarms : 0" in out
+
+    def test_nae_monitoring(self, capsys):
+        out = _run_example("nae_monitoring.py", capsys=capsys)
+        assert "SLA violations" in out
+        assert "post activation, switch 6" in out
+
+    def test_control_plane_anomaly(self, capsys):
+        out = _run_example("control_plane_anomaly.py", capsys=capsys)
+        assert "anomalies raised" in out
+        assert "first alarm" in out
+
+    def test_distributed_deployment(self, capsys):
+        out = _run_example("distributed_deployment.py", capsys=capsys)
+        assert "LLDP discovered 48 links" in out
+        assert "failed over" in out

@@ -1,0 +1,171 @@
+"""Failure-injection tests: controller failover, DB shard loss, link loss.
+
+The paper's scalability story implies the distributed pieces keep working
+as parts fail; these tests exercise the failure paths end-to-end with
+Athena attached.
+"""
+
+import pytest
+
+from repro.controller import ControllerCluster, ReactiveForwarding
+from repro.core import AthenaDeployment, GenerateQuery
+from repro.dataplane.topologies import enterprise_topology, linear_topology
+from repro.distdb import DatabaseCluster
+from repro.errors import DatabaseError
+from repro.workloads.flows import FlowSpec, TrafficSchedule
+
+
+class TestControllerFailover:
+    @pytest.fixture
+    def stack(self):
+        topo = enterprise_topology(hosts_per_edge=1)
+        cluster = ControllerCluster(topo.network, n_instances=3)
+        cluster.adopt_domains(topo.domains)
+        cluster.start(poll=False)
+        fwd = ReactiveForwarding()
+        fwd.activate(cluster)
+        athena = AthenaDeployment(cluster, athena_poll_interval=2.0)
+        athena.start()
+        schedule = TrafficSchedule(topo.network)
+        schedule.prime_arp()
+        topo.network.sim.run(until=1.0)
+        return topo, cluster, athena, schedule
+
+    def test_switches_remain_reachable_after_failover(self, stack):
+        topo, cluster, athena, schedule = stack
+        failed_domain = cluster.instance(0).owned_dpids()
+        moved = cluster.fail_instance(0)
+        assert sorted(moved) == sorted(failed_domain)
+        # Messages to the moved switches route through their new masters.
+        from repro.openflow import FlowStatsRequest, Match
+
+        for dpid in moved:
+            cluster.send(dpid, FlowStatsRequest(match=Match()))
+
+    def test_traffic_flows_after_failover(self, stack):
+        topo, cluster, athena, schedule = stack
+        cluster.fail_instance(1)
+        hosts = sorted(topo.network.hosts)
+        src, dst = hosts[0], hosts[-1]
+        before = topo.network.hosts[dst].rx_packets
+        schedule.add_flow(
+            FlowSpec(src_host=src, dst_host=dst, rate_pps=20.0,
+                     start=topo.network.sim.now, duration=2.0)
+        )
+        topo.network.sim.run(until=topo.network.sim.now + 4.0)
+        assert topo.network.hosts[dst].rx_packets > before
+
+    def test_surviving_athena_instances_keep_generating(self, stack):
+        topo, cluster, athena, schedule = stack
+        topo.network.sim.run(until=5.0)
+        cluster.fail_instance(2)
+        before = {
+            i.instance_id: i.generator.features_generated
+            for i in athena.instances
+        }
+        topo.network.sim.run(until=12.0)
+        survivors = [i for i in athena.instances if i.instance_id != 2]
+        assert any(
+            i.generator.features_generated > before[i.instance_id]
+            for i in survivors
+        )
+
+    def test_failover_without_standby_raises(self):
+        topo = linear_topology(n_switches=2)
+        cluster = ControllerCluster(topo.network, n_instances=1)
+        cluster.adopt_all()
+        from repro.errors import ControllerError
+
+        with pytest.raises(ControllerError):
+            cluster.fail_instance(0)
+
+
+class TestDatabaseFailures:
+    def test_scatter_gather_skips_dead_shard(self):
+        database = DatabaseCluster(n_shards=3, replication=1)
+        database.insert_many("c", [{"v": i} for i in range(30)])
+        alive_before = database.count("c")
+        database.fail_shard(1)
+        # Unpinned reads degrade gracefully to the live shards.
+        degraded = database.count("c")
+        assert 0 < degraded < alive_before
+        database.recover_shard(1)
+        assert database.count("c") == alive_before
+
+    def test_writes_fail_to_dead_primary_only(self):
+        database = DatabaseCluster(n_shards=2, shard_key="k", replication=1)
+        database.fail_shard(0)
+        # Keys routed to the dead shard fail; others succeed.
+        outcomes = []
+        for key in range(10):
+            try:
+                database.insert_one("c", {"k": key})
+                outcomes.append(True)
+            except DatabaseError:
+                outcomes.append(False)
+        assert any(outcomes) and not all(outcomes)
+
+    def test_feature_pipeline_survives_shard_recovery(self):
+        topo = linear_topology(n_switches=2, hosts_per_switch=1)
+        cluster = ControllerCluster(topo.network, n_instances=1)
+        cluster.adopt_all()
+        fwd = ReactiveForwarding()
+        fwd.activate(cluster)
+        database = DatabaseCluster(n_shards=3, replication=2)
+        athena = AthenaDeployment(
+            cluster, database=database, athena_poll_interval=1.0
+        )
+        athena.start()
+        schedule = TrafficSchedule(topo.network)
+        schedule.prime_arp()
+        schedule.add_flow(
+            FlowSpec(src_host="h1", dst_host="h2", rate_pps=20.0,
+                     start=0.5, duration=8.0)
+        )
+        # A shard dies mid-run and comes back.
+        topo.network.sim.at(3.0, lambda: database.fail_shard(0))
+        topo.network.sim.at(6.0, lambda: database.recover_shard(0))
+        try:
+            topo.network.sim.run(until=10.0)
+        except DatabaseError:
+            pytest.fail("a dead shard must not crash feature publication")
+        docs = athena.northbound.request_features(
+            GenerateQuery("feature_scope == flow")
+        )
+        assert docs
+
+
+class TestLinkFailures:
+    def test_port_down_emits_port_status(self):
+        topo = linear_topology(n_switches=2)
+        cluster = ControllerCluster(topo.network, n_instances=1)
+        cluster.adopt_all()
+        from repro.controller.events import PortStatusEvent
+
+        events = []
+        cluster.bus.subscribe(PortStatusEvent, events.append)
+        topo.network.switches[1].set_port_state(2, up=False)
+        assert len(events) == 1
+        assert events[0].message.link_up is False
+
+    def test_traffic_stops_over_downed_port(self):
+        topo = linear_topology(n_switches=2, hosts_per_switch=1)
+        cluster = ControllerCluster(topo.network, n_instances=1)
+        cluster.adopt_all()
+        fwd = ReactiveForwarding()
+        fwd.activate(cluster)
+        schedule = TrafficSchedule(topo.network)
+        schedule.prime_arp()
+        schedule.add_flow(
+            FlowSpec(src_host="h1", dst_host="h2", rate_pps=10.0,
+                     start=0.5, duration=2.0)
+        )
+        topo.network.sim.run(until=3.0)
+        delivered = topo.network.hosts["h2"].rx_packets
+        topo.network.switches[1].set_port_state(2, up=False)
+        schedule.add_flow(
+            FlowSpec(src_host="h1", dst_host="h2", sport=45000,
+                     rate_pps=10.0, start=topo.network.sim.now, duration=2.0)
+        )
+        topo.network.sim.run(until=topo.network.sim.now + 3.0)
+        assert topo.network.hosts["h2"].rx_packets == delivered

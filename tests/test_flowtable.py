@@ -1,0 +1,188 @@
+"""Tests for flow-table semantics (priority, modify/delete, expiry)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dataplane.flowtable import FlowTable
+from repro.errors import DataPlaneError
+from repro.openflow import ActionDrop, ActionOutput, FlowRemovedReason, Match
+from repro.openflow.flow import FlowEntry
+
+
+def _entry(priority=10, actions=None, **match_fields):
+    return FlowEntry(
+        match=Match.from_dict(match_fields),
+        priority=priority,
+        actions=actions or [ActionOutput(port=1)],
+    )
+
+
+class TestLookup:
+    def test_highest_priority_wins(self):
+        table = FlowTable()
+        low = table.insert(_entry(priority=1, ip_src="10.0.0.1"), now=0.0)
+        high = table.insert(_entry(priority=99, ip_src="10.0.0.1"), now=0.0)
+        assert table.lookup({"ip_src": "10.0.0.1"}) is high
+        assert low in table.entries
+
+    def test_specificity_breaks_priority_ties(self):
+        table = FlowTable()
+        loose = table.insert(_entry(priority=10), now=0.0)
+        tight = table.insert(_entry(priority=10, ip_src="10.0.0.1"), now=0.0)
+        assert table.lookup({"ip_src": "10.0.0.1"}) is tight
+        assert table.lookup({"ip_src": "10.0.0.9"}) is loose
+
+    def test_miss_returns_none(self):
+        table = FlowTable()
+        table.insert(_entry(ip_src="10.0.0.1"), now=0.0)
+        assert table.lookup({"ip_src": "99.9.9.9"}) is None
+
+    def test_lookup_counters(self):
+        table = FlowTable()
+        table.insert(_entry(ip_src="10.0.0.1"), now=0.0)
+        table.lookup({"ip_src": "10.0.0.1"})
+        table.lookup({"ip_src": "2.2.2.2"})
+        assert table.lookup_count == 2
+        assert table.matched_count == 1
+
+    def test_duplicate_match_priority_replaces(self):
+        table = FlowTable()
+        table.insert(_entry(priority=5, ip_src="10.0.0.1"), now=0.0)
+        replacement = table.insert(
+            _entry(priority=5, actions=[ActionDrop()], ip_src="10.0.0.1"), now=1.0
+        )
+        assert len(table) == 1
+        assert table.lookup({"ip_src": "10.0.0.1"}) is replacement
+
+    def test_capacity_enforced(self):
+        table = FlowTable(max_entries=2)
+        table.insert(_entry(tcp_src=1), now=0.0)
+        table.insert(_entry(tcp_src=2), now=0.0)
+        with pytest.raises(DataPlaneError):
+            table.insert(_entry(tcp_src=3), now=0.0)
+
+
+class TestModifyDelete:
+    def test_non_strict_modify_covers_subsets(self):
+        table = FlowTable()
+        table.insert(_entry(ip_src="10.0.0.1", tcp_dst=80), now=0.0)
+        table.insert(_entry(ip_src="10.0.0.1", tcp_dst=81), now=0.0)
+        touched = table.modify(Match(ip_src="10.0.0.1"), [ActionDrop()])
+        assert touched == 2
+        assert all(e.actions == [ActionDrop()] for e in table.entries)
+
+    def test_strict_modify_requires_exact(self):
+        table = FlowTable()
+        table.insert(_entry(priority=7, ip_src="10.0.0.1"), now=0.0)
+        assert (
+            table.modify(
+                Match(ip_src="10.0.0.1"), [ActionDrop()], priority=8, strict=True
+            )
+            == 0
+        )
+        assert (
+            table.modify(
+                Match(ip_src="10.0.0.1"), [ActionDrop()], priority=7, strict=True
+            )
+            == 1
+        )
+
+    def test_non_strict_delete(self):
+        table = FlowTable()
+        table.insert(_entry(ip_src="10.0.0.1", tcp_dst=80), now=0.0)
+        table.insert(_entry(ip_src="10.0.0.2", tcp_dst=80), now=0.0)
+        removed = table.delete(Match(ip_src="10.0.0.1"))
+        assert len(removed) == 1
+        assert len(table) == 1
+
+    def test_delete_all_with_wildcard(self):
+        table = FlowTable()
+        for i in range(5):
+            table.insert(_entry(tcp_src=i), now=0.0)
+        assert len(table.delete(Match())) == 5
+        assert len(table) == 0
+
+    def test_delete_filtered_by_out_port(self):
+        table = FlowTable()
+        table.insert(
+            _entry(actions=[ActionOutput(port=1)], ip_src="10.0.0.1"), now=0.0
+        )
+        table.insert(
+            _entry(actions=[ActionOutput(port=2)], ip_src="10.0.0.2"), now=0.0
+        )
+        removed = table.delete(Match(), out_port=2)
+        assert len(removed) == 1
+        assert removed[0].match.ip_src == "10.0.0.2"
+
+
+class TestExpiry:
+    def test_idle_expiry(self):
+        table = FlowTable()
+        entry = _entry(ip_src="10.0.0.1")
+        entry.idle_timeout = 2.0
+        table.insert(entry, now=0.0)
+        assert table.expire(1.9) == []
+        expired = table.expire(2.1)
+        assert [(entry, FlowRemovedReason.IDLE_TIMEOUT)] == expired
+        assert len(table) == 0
+
+    def test_idle_refreshed_by_traffic(self):
+        table = FlowTable()
+        entry = _entry(ip_src="10.0.0.1")
+        entry.idle_timeout = 2.0
+        table.insert(entry, now=0.0)
+        entry.stats.record(100, now=1.5)
+        assert table.expire(3.0) == []
+        assert table.expire(3.6)[0][1] == FlowRemovedReason.IDLE_TIMEOUT
+
+    def test_hard_beats_idle(self):
+        table = FlowTable()
+        entry = _entry(ip_src="10.0.0.1")
+        entry.idle_timeout = 1.0
+        entry.hard_timeout = 1.0
+        table.insert(entry, now=0.0)
+        assert table.expire(1.5)[0][1] == FlowRemovedReason.HARD_TIMEOUT
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=100),  # priority
+                st.integers(min_value=0, max_value=3),  # tcp_dst
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+        st.integers(min_value=0, max_value=3),
+    )
+    def test_lookup_returns_max_priority_covering_entry(self, specs, probe):
+        """The winner always has the maximum priority among covering entries."""
+        table = FlowTable()
+        for i, (priority, dst) in enumerate(specs):
+            table.insert(
+                FlowEntry(
+                    match=Match(tcp_dst=dst),
+                    priority=priority,
+                    actions=[ActionOutput(port=i)],
+                ),
+                now=0.0,
+            )
+        headers = {"tcp_dst": probe}
+        winner = table.lookup(headers)
+        covering = [e for e in table.entries if e.match.matches(headers)]
+        if not covering:
+            assert winner is None
+        else:
+            assert winner is not None
+            assert winner.priority == max(e.priority for e in covering)
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=30))
+    def test_insert_then_delete_all_leaves_empty(self, ports):
+        table = FlowTable()
+        for i, port in enumerate(ports):
+            table.insert(
+                FlowEntry(match=Match(tcp_src=i), priority=port), now=0.0
+            )
+        table.delete(Match())
+        assert len(table) == 0

@@ -1,0 +1,172 @@
+"""Live (online) detection end-to-end.
+
+The paper: Athena facilitates "both batch and live mode anomaly detection".
+Batch mode is covered by the DDoS scenario tests; these tests drive the
+live path: a model is trained in batch, registered with
+``AddOnlineValidator``, and validates *streaming* features as the
+southbound elements publish them — raising alerts and reactions in real
+time.
+"""
+
+import pytest
+
+from repro.controller import ControllerCluster, ReactiveForwarding
+from repro.core import AthenaDeployment, BlockReaction, GenerateQuery
+from repro.core.algorithm import GenerateAlgorithm
+from repro.core.preprocessor import GeneratePreprocessor
+from repro.dataplane.topologies import linear_topology
+from repro.workloads.ddos import DDoSDatasetGenerator, DDoSDatasetSpec
+from repro.workloads.flows import FlowSpec, TrafficSchedule
+
+#: Features available both in the offline dataset and in live records.
+LIVE_FEATURES = [
+    "FLOW_PACKET_COUNT",
+    "FLOW_BYTE_PER_PACKET",
+    "FLOW_PACKET_PER_DURATION",
+    "PAIR_FLOW",
+]
+
+
+@pytest.fixture
+def stack():
+    topo = linear_topology(n_switches=3, hosts_per_switch=2)
+    cluster = ControllerCluster(topo.network, n_instances=1)
+    cluster.adopt_all()
+    cluster.start(poll=False)
+    forwarding = ReactiveForwarding()
+    forwarding.activate(cluster)
+    athena = AthenaDeployment(cluster, athena_poll_interval=1.0)
+    athena.start()
+    schedule = TrafficSchedule(topo.network)
+    schedule.prime_arp()
+    topo.network.sim.run(until=0.5)
+    return topo, athena, schedule
+
+
+def _train_model(athena):
+    """Batch-train a K-Means model on the synthetic DDoS dataset."""
+    documents = DDoSDatasetGenerator(DDoSDatasetSpec(scale=0.0005)).generate()
+    preprocessor = GeneratePreprocessor(
+        normalization="minmax", marking="label", features=LIVE_FEATURES
+    )
+    return athena.detector_manager.generate_detection_model(
+        GenerateQuery(),
+        preprocessor,
+        GenerateAlgorithm("kmeans", k=6, max_iterations=15, runs=2, seed=1),
+        documents=documents,
+    )
+
+
+class TestOnlineValidation:
+    def test_streaming_features_validated(self, stack):
+        topo, athena, schedule = stack
+        model = _train_model(athena)
+        verdicts = []
+        validator_id = athena.northbound.add_online_validator(
+            model.preprocessor,
+            model,
+            lambda feature, verdict: verdicts.append((feature, verdict)),
+            query=GenerateQuery("feature_scope == flow && FLOW_PACKET_COUNT > 0"),
+        )
+        # Benign paired traffic.
+        schedule.add_flow(
+            FlowSpec(src_host="h1", dst_host="h5", rate_pps=10.0,
+                     start=1.0, duration=5.0, bidirectional=True)
+        )
+        topo.network.sim.run(until=8.0)
+        assert verdicts, "live features must reach the online validator"
+        stats = athena.detector_manager.validator_stats(validator_id)
+        assert stats["validated"] == len(verdicts)
+
+    def test_flood_raises_online_alerts(self, stack):
+        topo, athena, schedule = stack
+        model = _train_model(athena)
+        alerts = []
+
+        def handler(feature, verdict):
+            if verdict:
+                alerts.append(feature)
+
+        athena.northbound.add_online_validator(
+            model.preprocessor,
+            model,
+            handler,
+            query=GenerateQuery("feature_scope == flow && FLOW_PACKET_COUNT > 0"),
+        )
+        # One-way small-packet flood from h2 (unpaired, tiny payload).
+        schedule.add_flow(
+            FlowSpec(src_host="h2", dst_host="h6", sport=50001, dport=80,
+                     packet_size=64, rate_pps=150.0, start=1.0, duration=6.0)
+        )
+        topo.network.sim.run(until=9.0)
+        assert alerts, "the flood must trigger live verdicts"
+        sources = {a.indicators.get("ip_src") for a in alerts}
+        assert topo.network.hosts["h2"].ip in sources
+
+    def test_online_alert_drives_reaction(self, stack):
+        """The full live loop: detect malicious feature -> block source."""
+        topo, athena, schedule = stack
+        model = _train_model(athena)
+        blocked = set()
+
+        def handler(feature, verdict):
+            ip = feature.indicators.get("ip_src")
+            if verdict and ip and ip not in blocked:
+                blocked.add(ip)
+                athena.northbound.reactor(
+                    None, BlockReaction(target_ips=[ip])
+                )
+
+        athena.northbound.add_online_validator(
+            model.preprocessor, model, handler,
+            query=GenerateQuery("feature_scope == flow && FLOW_PACKET_COUNT > 0"),
+        )
+        attacker = topo.network.hosts["h2"]
+        victim = topo.network.hosts["h6"]
+        schedule.add_flow(
+            FlowSpec(src_host="h2", dst_host="h6", sport=50002, dport=80,
+                     packet_size=64, rate_pps=150.0, start=1.0, duration=10.0)
+        )
+        topo.network.sim.run(until=14.0)
+        assert attacker.ip in blocked
+        # Traffic stops after the live block lands.
+        delivered_at_block = victim.rx_packets
+        schedule.add_flow(
+            FlowSpec(src_host="h2", dst_host="h6", sport=50003, dport=80,
+                     packet_size=64, rate_pps=100.0,
+                     start=topo.network.sim.now, duration=2.0)
+        )
+        topo.network.sim.run(until=topo.network.sim.now + 4.0)
+        assert victim.rx_packets == delivered_at_block
+
+    def test_benign_traffic_not_blocked(self, stack):
+        topo, athena, schedule = stack
+        model = _train_model(athena)
+        malicious_verdicts = []
+        athena.northbound.add_online_validator(
+            model.preprocessor,
+            model,
+            lambda feature, verdict: verdicts_append(feature, verdict),
+            query=GenerateQuery("feature_scope == flow && FLOW_PACKET_COUNT > 5"),
+        )
+
+        def verdicts_append(feature, verdict):
+            if verdict:
+                malicious_verdicts.append(feature)
+
+        # Normal web-like paired traffic.
+        schedule.add_flow(
+            FlowSpec(src_host="h1", dst_host="h5", rate_pps=12.0,
+                     packet_size=900, start=1.0, duration=6.0,
+                     bidirectional=True)
+        )
+        topo.network.sim.run(until=9.0)
+        benign_ip = topo.network.hosts["h1"].ip
+        # Cold-start samples (before the reverse rule lands) may look
+        # unpaired; the steady state must be clean.
+        late_false_alarms = [
+            a
+            for a in malicious_verdicts
+            if a.indicators.get("ip_src") == benign_ip and a.timestamp > 3.0
+        ]
+        assert late_false_alarms == []

@@ -1,0 +1,136 @@
+"""Tests for the ML evaluation utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MLError
+from repro.ml import KMeans, LogisticRegression
+from repro.ml.evaluation import (
+    auc_score,
+    cross_validate,
+    k_fold_indices,
+    operating_point,
+    roc_curve,
+    train_test_split,
+)
+
+
+def _blobs(seed=0, n0=120, n1=80, sep=3.0):
+    rng = np.random.default_rng(seed)
+    X = np.vstack([rng.normal(0, 1, (n0, 3)), rng.normal(sep, 1, (n1, 3))])
+    y = np.r_[np.zeros(n0), np.ones(n1)]
+    order = rng.permutation(len(y))
+    return X[order], y[order]
+
+
+class TestSplits:
+    def test_sizes(self):
+        X, y = _blobs()
+        Xtr, ytr, Xte, yte = train_test_split(X, y, test_fraction=0.25, seed=1)
+        assert len(Xte) == pytest.approx(0.25 * len(X), abs=2)
+        assert len(Xtr) + len(Xte) == len(X)
+
+    def test_stratified_preserves_balance(self):
+        X, y = _blobs()
+        _, ytr, _, yte = train_test_split(X, y, test_fraction=0.3, seed=2)
+        assert ytr.mean() == pytest.approx(yte.mean(), abs=0.05)
+
+    def test_invalid_fraction(self):
+        X, y = _blobs()
+        with pytest.raises(MLError):
+            train_test_split(X, y, test_fraction=1.5)
+
+    def test_k_fold_partitions(self):
+        folds = k_fold_indices(100, 5, seed=3)
+        assert len(folds) == 5
+        combined = np.sort(np.concatenate(folds))
+        assert (combined == np.arange(100)).all()
+
+    def test_k_fold_validation(self):
+        with pytest.raises(MLError):
+            k_fold_indices(10, 1)
+        with pytest.raises(MLError):
+            k_fold_indices(3, 5)
+
+
+class TestCrossValidation:
+    def test_supervised(self):
+        X, y = _blobs()
+        result = cross_validate(
+            lambda: LogisticRegression(), X, y, k=4, seed=0
+        )
+        assert len(result.fold_scores) == 4
+        assert result.mean("accuracy") > 0.95
+        assert result.std("accuracy") < 0.1
+
+    def test_clustering_with_labelling(self):
+        X, y = _blobs(sep=6.0)
+        result = cross_validate(
+            lambda: KMeans(k=2, seed=1), X, y, k=3, seed=0,
+            needs_cluster_labelling=True,
+        )
+        assert result.mean("detection_rate") > 0.95
+
+
+class TestRoc:
+    def test_perfect_separation(self):
+        y = np.array([0, 0, 0, 1, 1, 1])
+        scores = np.array([0.1, 0.2, 0.3, 0.8, 0.9, 0.95])
+        assert auc_score(y, scores) == pytest.approx(1.0)
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 4000)
+        scores = rng.random(4000)
+        assert auc_score(y, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_curve_monotone(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, 200)
+        scores = rng.random(200) + y * 0.3
+        fpr, tpr, thresholds = roc_curve(y, scores)
+        assert (np.diff(fpr) >= 0).all()
+        assert (np.diff(tpr) >= 0).all()
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        assert (np.diff(thresholds) <= 0).all()
+
+    def test_single_class_rejected(self):
+        with pytest.raises(MLError):
+            roc_curve([1, 1, 1], [0.1, 0.2, 0.3])
+
+    def test_classifier_scores_give_high_auc(self):
+        X, y = _blobs()
+        model = LogisticRegression().fit(X[:150], y[:150])
+        assert auc_score(y[150:], model.decision_scores(X[150:])) > 0.98
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=999))
+    def test_auc_bounded_property(self, seed):
+        rng = np.random.default_rng(seed)
+        y = np.r_[np.zeros(10), np.ones(10)]
+        scores = rng.random(20)
+        assert 0.0 <= auc_score(y, scores) <= 1.0
+
+
+class TestOperatingPoint:
+    def test_respects_far_budget(self):
+        X, y = _blobs(sep=2.0)
+        model = LogisticRegression().fit(X[:150], y[:150])
+        scores = model.decision_scores(X[150:])
+        threshold, dr, far = operating_point(y[150:], scores, 0.05)
+        assert far <= 0.05
+        predictions = (scores >= threshold).astype(float)
+        from repro.ml.metrics import false_alarm_rate
+
+        assert false_alarm_rate(y[150:], predictions) == pytest.approx(far)
+
+    def test_infeasible_budget_raises(self):
+        # Scores that cannot reach FAR 0 without flagging nothing exist,
+        # but a negative budget is always infeasible except at tpr=0...
+        y = np.array([0, 1, 0, 1])
+        scores = np.array([0.9, 0.1, 0.8, 0.2])  # inverted scores
+        threshold, dr, far = operating_point(y, scores, 0.0)
+        # The only FAR=0 point flags nothing: DR 0.
+        assert dr == 0.0

@@ -1,0 +1,154 @@
+"""Tests for the Athena Preprocessor (Table IV operators)."""
+
+import numpy as np
+import pytest
+
+from repro.core.preprocessor import GeneratePreprocessor, Preprocessor
+from repro.core.query import GenerateQuery
+from repro.errors import AthenaError
+
+
+DOCS = [
+    {"A": 0.0, "B": 10.0, "label": 0, "ip_src": "10.0.0.1"},
+    {"A": 5.0, "B": 20.0, "label": 0, "ip_src": "10.0.0.2"},
+    {"A": 10.0, "B": 30.0, "label": 1, "ip_src": "10.0.0.3"},
+]
+
+
+class TestFeatureSelection:
+    def test_add_all_orders_columns(self):
+        pre = Preprocessor(normalization=None)
+        pre.add_all(["A", "B"])
+        matrix, _, _ = pre.transform(DOCS)
+        assert matrix.shape == (3, 2)
+        assert matrix[2, 0] == 10.0
+        assert matrix[0, 1] == 10.0
+
+    def test_add_deduplicates(self):
+        pre = Preprocessor(normalization=None).add("A").add("A")
+        assert pre.features == ["A"]
+
+    def test_missing_fields_become_zero(self):
+        pre = Preprocessor(features=["A", "MISSING"], normalization=None)
+        matrix, _, _ = pre.transform(DOCS)
+        assert (matrix[:, 1] == 0.0).all()
+
+    def test_no_features_raises(self):
+        with pytest.raises(AthenaError):
+            Preprocessor(normalization=None).transform(DOCS)
+
+
+class TestNormalization:
+    def test_minmax(self):
+        pre = Preprocessor(features=["A", "B"], normalization="minmax")
+        matrix, _, _ = pre.fit_transform(DOCS)
+        assert matrix.min() == 0.0 and matrix.max() == 1.0
+
+    def test_standard(self):
+        pre = Preprocessor(features=["A"], normalization="standard")
+        matrix, _, _ = pre.fit_transform(DOCS)
+        assert abs(matrix.mean()) < 1e-9
+
+    def test_test_split_uses_training_scaling(self):
+        pre = Preprocessor(features=["A"], normalization="minmax")
+        pre.fit(DOCS)
+        matrix, _, _ = pre.transform([{"A": 20.0}])
+        assert matrix[0, 0] == 2.0
+
+    def test_unfitted_transform_raises(self):
+        pre = Preprocessor(features=["A"], normalization="minmax")
+        with pytest.raises(AthenaError):
+            pre.transform(DOCS)
+
+    def test_unknown_normalization_rejected(self):
+        with pytest.raises(AthenaError):
+            Preprocessor(normalization="l2")
+
+
+class TestWeighting:
+    def test_weights_applied_after_scaling(self):
+        pre = Preprocessor(
+            features=["A", "B"], normalization="minmax", weights={"A": 2.0}
+        )
+        matrix, _, _ = pre.fit_transform(DOCS)
+        assert matrix[:, 0].max() == 2.0
+        assert matrix[:, 1].max() == 1.0
+
+    def test_set_weight_validation(self):
+        pre = Preprocessor(features=["A"], normalization=None)
+        with pytest.raises(AthenaError):
+            pre.set_weight("A", -1.0)
+
+
+class TestSampling:
+    def test_fraction(self):
+        docs = [{"A": float(i)} for i in range(100)]
+        pre = Preprocessor(features=["A"], normalization=None, sampling=0.2)
+        matrix, _, kept = pre.fit_transform(docs)
+        assert matrix.shape[0] == 20
+        assert len(kept) == 20
+
+    def test_invalid_fraction(self):
+        with pytest.raises(AthenaError):
+            Preprocessor(sampling=1.5)
+
+    def test_transform_does_not_sample_by_default(self):
+        docs = [{"A": float(i)} for i in range(100)]
+        pre = Preprocessor(features=["A"], normalization=None, sampling=0.2)
+        pre.fit(docs)
+        matrix, _, _ = pre.transform(docs)
+        assert matrix.shape[0] == 100
+
+
+class TestMarking:
+    def test_label_column_marking(self):
+        pre = Preprocessor(features=["A"], normalization=None, marking="label")
+        _, marks, _ = pre.transform(DOCS)
+        assert marks.tolist() == [0.0, 0.0, 1.0]
+
+    def test_query_marking(self):
+        query = GenerateQuery("ip_src == 10.0.0.3")
+        pre = Preprocessor(features=["A"], normalization=None, marking=query)
+        _, marks, _ = pre.transform(DOCS)
+        assert marks.tolist() == [0.0, 0.0, 1.0]
+
+    def test_callable_marking(self):
+        pre = Preprocessor(
+            features=["A"], normalization=None,
+            marking=lambda doc: doc["A"] >= 5.0,
+        )
+        _, marks, _ = pre.transform(DOCS)
+        assert marks.tolist() == [0.0, 1.0, 1.0]
+
+    def test_no_marking_yields_none(self):
+        pre = Preprocessor(features=["A"], normalization=None)
+        _, marks, _ = pre.transform(DOCS)
+        assert marks is None
+
+
+class TestOnlinePath:
+    def test_transform_one(self):
+        pre = Preprocessor(features=["A", "B"], normalization="minmax")
+        pre.fit(DOCS)
+        row = pre.transform_one({"A": 5.0, "B": 20.0})
+        assert row.shape == (2,)
+        assert row[0] == 0.5
+
+    def test_generate_preprocessor_factory(self):
+        pre = GeneratePreprocessor(
+            normalization="minmax", weights={"A": 2.0}, marking="label",
+            features=["A"],
+        )
+        assert isinstance(pre, Preprocessor)
+        assert pre.weights == {"A": 2.0}
+
+    def test_accepts_athena_feature_objects(self):
+        from repro.core.feature_format import AthenaFeature, FeatureScope
+
+        record = AthenaFeature(
+            scope=FeatureScope.FLOW, switch_id=1, instance_id=0,
+            timestamp=0.0, fields={"A": 3.0},
+        )
+        pre = Preprocessor(features=["A"], normalization=None)
+        matrix, _, _ = pre.transform([record])
+        assert matrix[0, 0] == 3.0

@@ -1,0 +1,178 @@
+"""Tests for the Athena query language (Table IV)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.query import GenerateQuery, Query, parse_constraints
+from repro.distdb import matches_filter
+from repro.errors import QueryError
+
+
+class TestParser:
+    def test_single_condition(self):
+        query = GenerateQuery("FLOW_PACKET_COUNT > 100")
+        assert query.matches({"FLOW_PACKET_COUNT": 101})
+        assert not query.matches({"FLOW_PACKET_COUNT": 100})
+
+    def test_all_arithmetic_operators(self):
+        cases = [
+            ("x > 5", 6, 5),
+            ("x >= 5", 5, 4),
+            ("x < 5", 4, 5),
+            ("x <= 5", 5, 6),
+            ("x == 5", 5, 4),
+            ("x != 5", 4, 5),
+        ]
+        for text, good, bad in cases:
+            query = GenerateQuery(text)
+            assert query.matches({"x": good}), text
+            assert not query.matches({"x": bad}), text
+
+    def test_and_conjunction(self):
+        query = GenerateQuery("a > 1 && b == 2")
+        assert query.matches({"a": 2, "b": 2})
+        assert not query.matches({"a": 2, "b": 3})
+
+    def test_or_disjunction(self):
+        query = GenerateQuery("a == 1 || a == 2")
+        assert query.matches({"a": 1})
+        assert query.matches({"a": 2})
+        assert not query.matches({"a": 3})
+
+    def test_and_binds_tighter_than_or(self):
+        query = GenerateQuery("a == 1 && b == 1 || c == 1")
+        assert query.matches({"c": 1})
+        assert query.matches({"a": 1, "b": 1})
+        assert not query.matches({"a": 1, "c": 2})
+
+    def test_parentheses_override(self):
+        query = GenerateQuery("a == 1 && (b == 1 || c == 1)")
+        assert not query.matches({"a": 1})
+        assert query.matches({"a": 1, "c": 1})
+
+    def test_keyword_connectives(self):
+        query = GenerateQuery("a == 1 and b == 2 or c == 3")
+        assert query.matches({"c": 3})
+
+    def test_string_values(self):
+        query = GenerateQuery("ip_dst == 10.0.0.1")
+        assert query.matches({"ip_dst": "10.0.0.1"})
+
+    def test_quoted_strings(self):
+        query = GenerateQuery("app_id == 'load balancer'")
+        assert query.matches({"app_id": "load balancer"})
+
+    def test_booleans(self):
+        query = GenerateQuery("up == true")
+        assert query.matches({"up": True})
+
+    def test_paper_example_query(self):
+        """The Section IV example: IP_DST==server && Port==80."""
+        query = GenerateQuery("ip_dst == 10.0.0.5 && tcp_dst == 80")
+        assert query.matches({"ip_dst": "10.0.0.5", "tcp_dst": 80})
+        assert not query.matches({"ip_dst": "10.0.0.5", "tcp_dst": 443})
+
+    def test_nae_example_query(self):
+        """The Section V-C query: Match DPID==(6 or 3)."""
+        query = GenerateQuery("switch_id == 6 || switch_id == 3")
+        assert query.matches({"switch_id": 6})
+        assert query.matches({"switch_id": 3})
+        assert not query.matches({"switch_id": 7})
+
+    def test_garbage_rejected(self):
+        with pytest.raises(QueryError):
+            GenerateQuery("a >")
+        with pytest.raises(QueryError):
+            GenerateQuery("&& a == 1")
+        with pytest.raises(QueryError):
+            GenerateQuery("(a == 1")
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(QueryError):
+            GenerateQuery("a ~ 1")
+
+
+class TestBuilder:
+    def test_where_chains_as_and(self):
+        query = Query().where("a", ">", 1).and_where("b", "==", 2)
+        assert query.matches({"a": 2, "b": 2})
+        assert not query.matches({"a": 0, "b": 2})
+
+    def test_or_where(self):
+        query = Query().where("a", "==", 1).or_where("a", "==", 2)
+        assert query.matches({"a": 2})
+
+    def test_sort_limit_accessors(self):
+        query = Query().sort_by("x", descending=True).limit(5)
+        assert query.sort_spec == [("x", -1)]
+        assert query.limit_value == 5
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(QueryError):
+            Query().limit(-1)
+
+    def test_time_window(self):
+        query = Query().time_window(10.0, 20.0)
+        assert query.matches({"timestamp": 15.0})
+        assert not query.matches({"timestamp": 25.0})
+        assert not query.matches({})
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(QueryError):
+            Query().time_window(5.0, 1.0)
+
+    def test_aggregation_spec_validation(self):
+        with pytest.raises(QueryError):
+            Query().aggregate(["sw"], "x", func="median")
+
+
+class TestCompilation:
+    def test_filter_compilation_agrees_with_matches(self):
+        query = GenerateQuery("a > 1 && (b == 2 || c <= 3)")
+        docs = [
+            {"a": 2, "b": 2},
+            {"a": 2, "c": 3},
+            {"a": 0, "b": 2},
+            {"a": 2, "b": 9, "c": 9},
+        ]
+        for doc in docs:
+            assert query.matches(doc) == matches_filter(doc, query.to_db_filter())
+
+    def test_window_merged_into_filter(self):
+        query = GenerateQuery("a == 1").time_window(0.0, 10.0)
+        filter_ = query.to_db_filter()
+        assert matches_filter({"a": 1, "timestamp": 5.0}, filter_)
+        assert not matches_filter({"a": 1, "timestamp": 50.0}, filter_)
+
+    def test_pipeline_compilation(self):
+        query = (
+            Query()
+            .where("feature_scope", "==", "flow")
+            .aggregate(["switch_id"], "FLOW_PACKET_COUNT", "sum")
+            .sort_by("FLOW_PACKET_COUNT", descending=True)
+            .limit(3)
+        )
+        pipeline = query.to_db_pipeline()
+        stages = [next(iter(stage)) for stage in pipeline]
+        assert stages == ["$match", "$group", "$sort", "$limit"]
+
+    def test_no_pipeline_without_aggregation(self):
+        assert Query().to_db_pipeline() is None
+
+    @given(
+        st.integers(min_value=0, max_value=20),
+        st.integers(min_value=0, max_value=20),
+        st.integers(min_value=0, max_value=20),
+    )
+    def test_parser_builder_equivalence_property(self, a, b, value):
+        """Textual and built queries over the same constraints agree."""
+        text = GenerateQuery(f"a > {a} && b <= {b}")
+        built = Query().where("a", ">", a).where("b", "<=", b)
+        doc = {"a": value, "b": value}
+        assert text.matches(doc) == built.matches(doc)
+
+    @given(st.integers(min_value=-5, max_value=25))
+    def test_compiled_filter_equivalence_property(self, value):
+        query = GenerateQuery("x >= 0 && x < 20 || x == 23")
+        doc = {"x": value}
+        assert query.matches(doc) == matches_filter(doc, query.to_db_filter())

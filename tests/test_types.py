@@ -1,0 +1,97 @@
+"""Tests for shared identifier types."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.types import (
+    ConnectPoint,
+    HostId,
+    format_dpid,
+    ip_from_int,
+    ip_to_int,
+    mac_from_int,
+    mac_to_int,
+    parse_dpid,
+)
+
+
+class TestDpid:
+    def test_format(self):
+        assert format_dpid(1) == "of:0000000000000001"
+        assert format_dpid(0xABCDEF) == "of:0000000000abcdef"
+
+    def test_parse_roundtrip(self):
+        assert parse_dpid(format_dpid(99)) == 99
+
+    def test_parse_plain_integer(self):
+        assert parse_dpid("42") == 42
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            format_dpid(-1)
+        with pytest.raises(ValueError):
+            format_dpid(1 << 64)
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_roundtrip_property(self, dpid):
+        assert parse_dpid(format_dpid(dpid)) == dpid
+
+
+class TestMac:
+    def test_format(self):
+        assert mac_from_int(0) == "00:00:00:00:00:00"
+        assert mac_from_int(0xAABBCCDDEEFF) == "aa:bb:cc:dd:ee:ff"
+
+    def test_parse(self):
+        assert mac_to_int("aa:bb:cc:dd:ee:ff") == 0xAABBCCDDEEFF
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            mac_to_int("not-a-mac")
+        with pytest.raises(ValueError):
+            mac_from_int(1 << 48)
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_roundtrip_property(self, value):
+        assert mac_to_int(mac_from_int(value)) == value
+
+
+class TestIp:
+    def test_format(self):
+        assert ip_from_int((10 << 24) + 1) == "10.0.0.1"
+
+    def test_parse(self):
+        assert ip_to_int("10.0.0.1") == (10 << 24) + 1
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_roundtrip_property(self, value):
+        assert ip_to_int(ip_from_int(value)) == value
+
+
+class TestHostId:
+    def test_valid(self):
+        host = HostId(mac="aa:bb:cc:dd:ee:ff", ip="10.0.0.1")
+        assert str(host) == "aa:bb:cc:dd:ee:ff/10.0.0.1"
+
+    def test_invalid_mac(self):
+        with pytest.raises(ValueError):
+            HostId(mac="xx", ip="10.0.0.1")
+
+    def test_invalid_ip(self):
+        with pytest.raises(ValueError):
+            HostId(mac="aa:bb:cc:dd:ee:ff", ip="999.0.0.1")
+
+    def test_hashable_and_ordered(self):
+        a = HostId(mac="aa:bb:cc:dd:ee:01", ip="10.0.0.1")
+        b = HostId(mac="aa:bb:cc:dd:ee:02", ip="10.0.0.2")
+        assert len({a, b, a}) == 2
+        assert a < b
+
+
+class TestConnectPoint:
+    def test_str(self):
+        assert str(ConnectPoint(1, 2)) == "of:0000000000000001/2"
+
+    def test_equality_and_hash(self):
+        assert ConnectPoint(1, 2) == ConnectPoint(1, 2)
+        assert len({ConnectPoint(1, 2), ConnectPoint(1, 3)}) == 2

@@ -1,0 +1,226 @@
+"""Tests for the utility API surface (the paper's '70 utility APIs')."""
+
+import pytest
+
+from repro.core import utility as u
+from repro.core.algorithm import Algorithm
+from repro.core.preprocessor import Preprocessor
+from repro.core.query import Query
+from repro.core.reactions import BlockReaction, QuarantineReaction
+from repro.core.results import ClusterReport, ValidationSummary
+
+
+class TestSurface:
+    def test_at_least_seventy_utility_apis(self):
+        """Section III: '8 core APIs, over 70 utility APIs'."""
+        assert u.utility_api_count() >= 70
+
+    def test_names_enumerable_and_documented(self):
+        names = u.utility_api_names()
+        assert len(names) == len(set(names))
+        for name in names:
+            fn = getattr(u, name)
+            assert fn.__doc__, f"{name} lacks a docstring"
+
+
+class TestQueryHelpers:
+    def test_scope_queries(self):
+        assert u.flow_features_query().matches({"feature_scope": "flow"})
+        assert u.port_features_query().matches({"feature_scope": "port"})
+        assert u.switch_features_query().matches({"feature_scope": "switch"})
+        assert u.control_features_query().matches({"feature_scope": "control"})
+
+    def test_comparison_sugar(self):
+        query = u.where_between(u.q(), "x", 2, 5)
+        assert query.matches({"x": 3})
+        assert not query.matches({"x": 6})
+        assert u.where_ne(u.q(), "x", 1).matches({"x": 2})
+        assert u.where_gte(u.q(), "x", 5).matches({"x": 5})
+        assert u.where_lt(u.q(), "x", 5).matches({"x": 4})
+
+    def test_where_any_of(self):
+        query = u.where_any_of(
+            u.flow_features_query(), "switch_id", [3, 6]
+        )
+        assert query.matches({"feature_scope": "flow", "switch_id": 3})
+        assert query.matches({"feature_scope": "flow", "switch_id": 6})
+        assert not query.matches({"feature_scope": "flow", "switch_id": 7})
+        assert not query.matches({"feature_scope": "port", "switch_id": 3})
+
+    def test_flow_selectors(self):
+        assert u.flows_of_switch(4).matches(
+            {"feature_scope": "flow", "switch_id": 4}
+        )
+        assert u.flows_between("1.1.1.1", "2.2.2.2").matches(
+            {"feature_scope": "flow", "ip_src": "1.1.1.1", "ip_dst": "2.2.2.2"}
+        )
+        assert u.flows_of_app("lb").matches(
+            {"feature_scope": "flow", "app_id": "lb"}
+        )
+        assert u.flows_to_port(80).matches(
+            {"feature_scope": "flow", "tcp_dst": 80}
+        )
+
+    def test_top_talkers_shape(self):
+        query = u.top_talkers(5)
+        assert query.limit_value == 5
+        assert query.sort_spec == [("FLOW_BYTE_COUNT", -1)]
+
+    def test_pairing_filters(self):
+        assert u.paired_flows_only().matches(
+            {"feature_scope": "flow", "PAIR_FLOW": 1.0}
+        )
+        assert not u.unpaired_flows_only().matches(
+            {"feature_scope": "flow", "PAIR_FLOW": 1.0}
+        )
+
+    def test_within_last(self):
+        query = u.within_last(u.q(), now=100.0, seconds=10.0)
+        assert query.matches({"timestamp": 95.0})
+        assert not query.matches({"timestamp": 80.0})
+
+    def test_utilization_per_app_pipeline(self):
+        pipeline = u.utilization_per_app().to_db_pipeline()
+        assert any("$group" in stage for stage in pipeline)
+
+
+class TestFeatureHelpers:
+    def test_catalog_access(self):
+        assert len(u.all_feature_names()) > 100
+        assert "FLOW_PACKET_COUNT" in u.protocol_features()
+        assert "FLOW_BYTE_PER_PACKET" in u.combination_features()
+        assert "PAIR_FLOW" in u.stateful_features()
+        assert "FLOW_PACKET_COUNT_VAR" in u.variation_features()
+
+    def test_candidate_sets(self):
+        assert len(u.ddos_candidate_features()) == 10
+        assert "PORT_RX_BYTES_VAR" in u.lfa_candidate_features()
+
+    def test_descriptions(self):
+        assert "packets" in u.feature_description("FLOW_PACKET_COUNT")
+        assert u.feature_category("PAIR_FLOW") == "stateful"
+
+    def test_variation_mapping(self):
+        assert u.is_variation_feature("FLOW_BYTE_COUNT_VAR")
+        assert not u.is_variation_feature("FLOW_BYTE_COUNT")
+        assert u.base_feature_of("FLOW_BYTE_COUNT_VAR") == "FLOW_BYTE_COUNT"
+        assert u.base_feature_of("FLOW_BYTE_COUNT") == "FLOW_BYTE_COUNT"
+
+
+class TestPreprocessorHelpers:
+    def test_builders(self):
+        pre = u.normalized_minmax(["A", "B"])
+        assert isinstance(pre, Preprocessor)
+        assert pre.normalization == "minmax"
+        assert u.normalized_standard(["A"]).normalization == "standard"
+
+    def test_composition(self):
+        pre = u.mark_by_label(
+            u.with_sampling(
+                u.with_weights(u.normalized_minmax(["A", "B"]), {"A": 2.0}),
+                0.5,
+                seed=3,
+            )
+        )
+        assert pre.weights == {"A": 2.0}
+        assert pre.sampling == 0.5
+        assert pre.marking == "label"
+
+    def test_mark_by_sources(self):
+        pre = u.mark_by_sources(u.preprocessor(["A"]), ["9.9.9.9"])
+        assert pre.mark({"ip_src": "9.9.9.9"}) == 1
+        assert pre.mark({"ip_src": "1.1.1.1"}) == 0
+
+    def test_mark_by_query(self):
+        pre = u.mark_by_query(u.preprocessor(["A"]), u.q_text("A > 5"))
+        assert pre.mark({"A": 6}) == 1
+
+
+class TestAlgorithmHelpers:
+    @pytest.mark.parametrize(
+        "builder,name",
+        [
+            (u.kmeans, "kmeans"),
+            (u.gaussian_mixture, "gaussian_mixture"),
+            (u.decision_tree, "decision_tree"),
+            (u.logistic_regression, "logistic_regression"),
+            (u.naive_bayes, "naive_bayes"),
+            (u.random_forest, "random_forest"),
+            (u.svm, "svm"),
+            (u.gradient_boosted_tree, "gradient_boosted_tree"),
+            (u.lasso, "lasso"),
+            (u.linear, "linear"),
+            (u.ridge, "ridge"),
+            (u.som, "som"),
+        ],
+    )
+    def test_each_builder_instantiates(self, builder, name):
+        algorithm = builder()
+        assert isinstance(algorithm, Algorithm)
+        assert algorithm.name == name
+        assert algorithm.instantiate() is not None
+
+    def test_kmeans_paper_defaults(self):
+        algorithm = u.kmeans()
+        assert algorithm.params["k"] == 8
+        assert algorithm.params["runs"] == 5
+
+    def test_threshold_no_learning(self):
+        algorithm = u.threshold(column=2, bound=10.0)
+        assert not algorithm.has_learning_phase
+
+
+class TestReactionHelpers:
+    def test_block(self):
+        reaction = u.block_hosts(["1.1.1.1"])
+        assert isinstance(reaction, BlockReaction)
+        assert not reaction.everywhere
+
+    def test_block_everywhere(self):
+        assert u.block_everywhere(["1.1.1.1"]).everywhere
+
+    def test_quarantine(self):
+        reaction = u.quarantine_hosts(["1.1.1.1"], "9.9.9.9")
+        assert isinstance(reaction, QuarantineReaction)
+        assert reaction.honeypot_ip == "9.9.9.9"
+
+    def test_suspicious_sources_query(self):
+        query = u.suspicious_sources_query(["1.1.1.1", "2.2.2.2"])
+        assert query.matches({"ip_src": "2.2.2.2"})
+        assert not query.matches({"ip_src": "3.3.3.3"})
+
+
+class TestResultsHelpers:
+    def _summary(self):
+        return ValidationSummary(
+            total_entries=10, benign_entries=5, malicious_entries=5,
+            true_positives=4, false_positives=1, true_negatives=4,
+            false_negatives=1,
+            clusters=[
+                ClusterReport(0, benign_entries=5, malicious_entries=0,
+                              is_malicious=False),
+                ClusterReport(1, benign_entries=0, malicious_entries=5,
+                              is_malicious=True),
+            ],
+        )
+
+    def test_metric_accessors(self):
+        summary = self._summary()
+        assert u.detection_rate_of(summary) == 0.8
+        assert u.false_alarm_rate_of(summary) == 0.2
+        assert u.accuracy_of(summary) == 0.8
+        assert u.confusion_of(summary) == {"tp": 4, "fp": 1, "tn": 4, "fn": 1}
+
+    def test_cluster_accessor(self):
+        assert u.malicious_clusters_of(self._summary()) == [1]
+
+    def test_render_and_dict(self):
+        summary = self._summary()
+        assert "Detection Rate" in u.render_results(summary)
+        assert u.results_to_dict(summary)["detection_rate"] == 0.8
+
+    def test_results_generator_copies(self):
+        rows = [{"a": 1}]
+        out = u.results_generator(rows)
+        out[0]["a"] = 2
+        assert rows[0]["a"] == 1

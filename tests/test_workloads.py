@@ -1,0 +1,176 @@
+"""Tests for the workload and dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.dataplane.topologies import linear_topology
+from repro.errors import ReproError
+from repro.workloads.ddos import (
+    DDOS_FEATURES,
+    DDoSDatasetGenerator,
+    DDoSDatasetSpec,
+    PAPER_BENIGN_ENTRIES,
+    PAPER_MALICIOUS_ENTRIES,
+)
+from repro.workloads.flows import FlowSpec, TrafficSchedule
+from repro.workloads.lfa import LFATrafficGenerator
+from repro.workloads.nae import NAEWorkload
+
+
+class TestDDoSDataset:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        generator = DDoSDatasetGenerator(DDoSDatasetSpec(scale=0.0005))
+        return generator, generator.generate()
+
+    def test_mix_matches_paper(self, dataset):
+        _, docs = dataset
+        benign = sum(1 for d in docs if d["label"] == 0)
+        malicious = len(docs) - benign
+        expected_ratio = PAPER_MALICIOUS_ENTRIES / PAPER_BENIGN_ENTRIES
+        assert malicious / benign == pytest.approx(expected_ratio, rel=0.01)
+
+    def test_all_ten_features_present(self, dataset):
+        _, docs = dataset
+        for feature in DDOS_FEATURES:
+            assert feature in docs[0]
+
+    def test_flash_fraction_exact(self, dataset):
+        _, docs = dataset
+        benign = [d for d in docs if d["label"] == 0]
+        flash = [d for d in benign if d["PAIR_FLOW"] == 0.0]
+        assert len(flash) / len(benign) == pytest.approx(0.0446, abs=0.005)
+
+    def test_stealth_fraction_exact(self, dataset):
+        _, docs = dataset
+        malicious = [d for d in docs if d["label"] == 1]
+        stealth = [d for d in malicious if d["PAIR_FLOW"] == 1.0]
+        assert len(stealth) / len(malicious) == pytest.approx(0.0077, abs=0.003)
+
+    def test_deterministic(self):
+        spec = DDoSDatasetSpec(scale=0.0002, seed=5)
+        docs_a = DDoSDatasetGenerator(spec).generate()
+        docs_b = DDoSDatasetGenerator(spec).generate()
+        assert docs_a == docs_b
+
+    def test_different_seeds_differ(self):
+        a = DDoSDatasetGenerator(DDoSDatasetSpec(scale=0.0002, seed=1)).generate()
+        b = DDoSDatasetGenerator(DDoSDatasetSpec(scale=0.0002, seed=2)).generate()
+        assert a != b
+
+    def test_timestamps_sorted(self, dataset):
+        _, docs = dataset
+        stamps = [d["timestamp"] for d in docs]
+        assert stamps == sorted(stamps)
+
+    def test_split_preserves_mix(self, dataset):
+        generator, docs = dataset
+        train, test = generator.train_test_split(docs)
+        assert len(train) + len(test) == len(docs)
+        train_malicious = sum(d["label"] for d in train) / len(train)
+        test_malicious = sum(d["label"] for d in test) / len(test)
+        assert train_malicious == pytest.approx(test_malicious, abs=0.02)
+
+    def test_attack_targets_single_victim(self, dataset):
+        _, docs = dataset
+        malicious_dsts = {d["ip_dst"] for d in docs if d["label"] == 1}
+        assert len(malicious_dsts) == 1
+
+    def test_scaling(self):
+        small = DDoSDatasetGenerator(DDoSDatasetSpec(scale=0.0002)).generate()
+        large = DDoSDatasetGenerator(DDoSDatasetSpec(scale=0.0004)).generate()
+        assert len(large) == pytest.approx(2 * len(small), rel=0.01)
+
+
+class TestTrafficSchedule:
+    def test_packet_count_matches_rate(self):
+        topo = linear_topology(n_switches=2, hosts_per_switch=1)
+        schedule = TrafficSchedule(topo.network)
+        scheduled = schedule.add_flow(
+            FlowSpec(src_host="h1", dst_host="h2", rate_pps=10.0, duration=5.0)
+        )
+        assert scheduled == 50
+
+    def test_bidirectional_adds_reverse(self):
+        topo = linear_topology(n_switches=2, hosts_per_switch=1)
+        schedule = TrafficSchedule(topo.network)
+        scheduled = schedule.add_flow(
+            FlowSpec(src_host="h1", dst_host="h2", rate_pps=10.0,
+                     duration=2.0, bidirectional=True)
+        )
+        assert scheduled == 40
+
+    def test_rate_growth_increases_packets(self):
+        topo = linear_topology(n_switches=2, hosts_per_switch=1)
+        schedule = TrafficSchedule(topo.network)
+        flat = schedule._packet_times(
+            FlowSpec(src_host="h1", dst_host="h2", rate_pps=10.0, duration=4.0)
+        )
+        growing = schedule._packet_times(
+            FlowSpec(src_host="h1", dst_host="h2", rate_pps=10.0,
+                     duration=4.0, rate_growth=0.5)
+        )
+        assert len(growing) > len(flat)
+        # Rate in the last second exceeds rate in the first second.
+        first = sum(1 for t in growing if t < growing[0] + 1.0)
+        last = sum(1 for t in growing if t > growing[0] + 3.0)
+        assert last > first
+
+    def test_unknown_host_rejected(self):
+        topo = linear_topology(n_switches=2, hosts_per_switch=1)
+        schedule = TrafficSchedule(topo.network)
+        with pytest.raises(ReproError):
+            schedule.add_flow(FlowSpec(src_host="ghost", dst_host="h1"))
+
+    def test_prime_arp_reaches_all_hosts(self):
+        topo = linear_topology(n_switches=3, hosts_per_switch=2)
+        schedule = TrafficSchedule(topo.network)
+        assert schedule.prime_arp() == 6
+
+
+class TestLFAGenerator:
+    def test_attack_flow_structure(self):
+        generator = LFATrafficGenerator(
+            bot_hosts=["b1", "b2"], decoy_hosts=["d1", "d2", "d3"],
+            flows_per_bot=3, attack_start=5.0,
+        )
+        flows = generator.attack_flows()
+        assert len(flows) == 6
+        assert all(not f.bidirectional for f in flows)
+        assert all(f.rate_growth == 0.0 for f in flows)
+        assert all(f.start >= 5.0 for f in flows)
+        decoys_used = {f.dst_host for f in flows}
+        assert decoys_used == {"d1", "d2", "d3"}
+
+    def test_benign_flows_adaptive(self):
+        generator = LFATrafficGenerator(
+            bot_hosts=["b1"], decoy_hosts=["d1"],
+            benign_pairs=[("x", "y")],
+        )
+        benign = generator.benign_flows()
+        assert benign[0].bidirectional
+        assert benign[0].rate_growth > 0
+
+
+class TestNAEWorkload:
+    def test_ftp_dominates(self):
+        workload = NAEWorkload(clients=["h1", "h2"], duration=60.0,
+                               ftp_fraction=0.8, seed=1)
+        flows = workload.flows()
+        ftp = [f for f in flows if f.dport == 21]
+        web = [f for f in flows if f.dport == 80]
+        assert len(ftp) + len(web) == len(flows)
+        assert len(ftp) > 2 * len(web)
+
+    def test_sessions_restart(self):
+        workload = NAEWorkload(clients=["h1"], duration=30.0,
+                               session_seconds=6.0)
+        flows = workload.flows()
+        starts = sorted(f.start for f in flows)
+        assert len(flows) == 5
+        assert starts[-1] > 20.0
+
+    def test_deterministic(self):
+        a = NAEWorkload(clients=["h1"], seed=3).flows()
+        b = NAEWorkload(clients=["h1"], seed=3).flows()
+        assert [(f.start, f.dport) for f in a] == [(f.start, f.dport) for f in b]
