@@ -1,0 +1,49 @@
+"""athena-lint: framework-aware static analysis for the reproduction.
+
+An AST-based lint engine plus four checkers enforcing the invariants the
+configuration-based framework cannot express in Python's type system:
+
+* **ATH1xx determinism** — timestamps and randomness must route through
+  ``simkernel`` so a run replays from one root seed;
+* **ATH2xx feature names** — string literals in query/preprocessor/
+  detector configuration must resolve against ``FEATURE_CATALOG``;
+* **ATH3xx northbound API** — core NB call sites must match the real
+  ``AthenaNorthbound`` signatures and name registered algorithms;
+* **ATH4xx OpenFlow codec** — message classes, the codec registry, and
+  the protocol constants must stay in lockstep.
+
+Run it as ``python -m repro.cli lint src/repro examples benchmarks``;
+see ``docs/ANALYSIS.md`` for every rule and the suppression syntax.
+"""
+
+from repro.analysis.checkers import (
+    DeterminismChecker,
+    FeatureNameChecker,
+    NorthboundChecker,
+    OpenFlowCodecChecker,
+    default_checkers,
+)
+from repro.analysis.config import LintConfig, find_pyproject, load_config
+from repro.analysis.engine import Checker, LintEngine, LintReport, ParsedModule
+from repro.analysis.findings import SCHEMA_VERSION, Finding, Severity
+from repro.analysis.reporters import JsonReporter, TextReporter
+
+__all__ = [
+    "Checker",
+    "DeterminismChecker",
+    "FeatureNameChecker",
+    "Finding",
+    "JsonReporter",
+    "LintConfig",
+    "LintEngine",
+    "LintReport",
+    "NorthboundChecker",
+    "OpenFlowCodecChecker",
+    "ParsedModule",
+    "SCHEMA_VERSION",
+    "Severity",
+    "TextReporter",
+    "default_checkers",
+    "find_pyproject",
+    "load_config",
+]

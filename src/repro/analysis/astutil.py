@@ -1,0 +1,84 @@
+"""Small AST helpers shared by the athena-lint checkers."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render a ``Name``/``Attribute`` chain as ``a.b.c``, or None.
+
+    Chains rooted in anything but a plain name (a call result, a
+    subscript) return None — the checkers only reason about names they
+    can resolve through imports.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class ImportMap(ast.NodeVisitor):
+    """Tracks what module/object each top-level alias refers to.
+
+    After ``visit(tree)``, :attr:`aliases` maps the local name to the
+    fully-qualified origin: ``import numpy as np`` yields
+    ``{"np": "numpy"}``; ``from datetime import datetime as dt`` yields
+    ``{"dt": "datetime.datetime"}``.
+    """
+
+    def __init__(self) -> None:
+        self.aliases: Dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name.split(".")[0]] = (
+                alias.name if alias.asname else alias.name.split(".")[0]
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:  # relative imports stay local
+            return
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            self.aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+        self.generic_visit(node)
+
+    def resolve(self, dotted: str) -> str:
+        """Expand the first segment of ``dotted`` through the alias map."""
+        head, _, rest = dotted.partition(".")
+        origin = self.aliases.get(head)
+        if origin is None:
+            return dotted
+        return f"{origin}.{rest}" if rest else origin
+
+
+def import_map(tree: ast.AST) -> ImportMap:
+    mapper = ImportMap()
+    mapper.visit(tree)
+    return mapper
+
+
+def string_value(node: ast.AST) -> Optional[str]:
+    """The value of a string-literal node, else None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def string_elements(node: ast.AST) -> List[ast.Constant]:
+    """String-literal elements of a list/tuple/set literal."""
+    if not isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+        return []
+    return [
+        element
+        for element in node.elts
+        if isinstance(element, ast.Constant) and isinstance(element.value, str)
+    ]

@@ -1,0 +1,126 @@
+"""ATH1xx — the determinism sanitizer.
+
+Athena runs must replay bit-identically from one root seed: simulated
+timestamps come from :class:`repro.simkernel.clock.SimClock` and every
+stochastic draw from :class:`repro.simkernel.rng.SeededRng` (or an
+explicitly seeded ``np.random.default_rng``).  Wall-clock timestamps and
+ambient RNG state silently break that, so this checker flags them
+anywhere except inside ``simkernel`` itself — the one place allowed to
+own the primitives.
+
+Duration *profiling* (``time.perf_counter``, ``time.process_time``) is
+deliberately permitted: measuring how long real computation took does
+not perturb simulated results.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.astutil import dotted_name, import_map
+from repro.analysis.engine import Checker, ParsedModule
+from repro.analysis.findings import Finding
+
+#: time-module functions that read the wall clock as a timestamp.
+_WALL_CLOCK = {"time.time", "time.time_ns"}
+
+#: datetime constructors that read the wall clock.
+_DATETIME_NOW = {
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: numpy.random entry points that are fine when explicitly seeded.
+_SEEDED_CONSTRUCTORS = {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox"}
+
+
+class DeterminismChecker(Checker):
+    """Flags ambient time and randomness outside ``simkernel``."""
+
+    name = "determinism"
+    rules = {
+        "ATH101": "wall-clock timestamp (time.time / time.time_ns); "
+        "use simkernel.clock.SimClock",
+        "ATH102": "wall-clock datetime (datetime.now / utcnow / today); "
+        "use simkernel.clock.SimClock",
+        "ATH103": "stdlib random call; use simkernel.rng.SeededRng",
+        "ATH104": "un-derived numpy RNG (legacy np.random.* or unseeded "
+        "default_rng()); derive from SeededRng or pass a seed",
+    }
+
+    def check(self, module: ParsedModule) -> Iterable[Finding]:
+        if "simkernel/" in module.relpath or module.relpath.startswith("simkernel"):
+            return []
+        imports = import_map(module.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            resolved = imports.resolve(dotted)
+            findings.extend(self._check_call(module, node, resolved))
+        return findings
+
+    def _check_call(
+        self, module: ParsedModule, node: ast.Call, resolved: str
+    ) -> Iterable[Finding]:
+        if resolved in _WALL_CLOCK:
+            yield self.finding(
+                module,
+                node,
+                "ATH101",
+                f"{resolved}() reads the wall clock; timestamps must come "
+                f"from simkernel.clock (SimClock.now)",
+            )
+            return
+        if resolved in _DATETIME_NOW:
+            yield self.finding(
+                module,
+                node,
+                "ATH102",
+                f"{resolved}() reads the wall clock; timestamps must come "
+                f"from simkernel.clock (SimClock.now)",
+            )
+            return
+        if resolved.startswith("random.") and resolved.count(".") == 1:
+            yield self.finding(
+                module,
+                node,
+                "ATH103",
+                f"{resolved}() draws from the process-global RNG; route "
+                f"randomness through simkernel.rng.SeededRng",
+            )
+            return
+        yield from self._check_numpy(module, node, resolved)
+
+    def _check_numpy(
+        self, module: ParsedModule, node: ast.Call, resolved: str
+    ) -> Iterable[Finding]:
+        if not resolved.startswith("numpy.random."):
+            return
+        func = resolved[len("numpy.random.") :]
+        if "." in func:  # e.g. numpy.random.Generator.standard_normal — rare
+            return
+        if func in _SEEDED_CONSTRUCTORS:
+            if node.args or node.keywords:
+                return  # explicitly seeded / explicitly constructed
+            yield self.finding(
+                module,
+                node,
+                "ATH104",
+                f"{func}() without a seed is entropy-seeded; pass a seed "
+                f"derived from SeededRng so runs stay reproducible",
+            )
+            return
+        yield self.finding(
+            module,
+            node,
+            "ATH104",
+            f"np.random.{func}() uses numpy's global RNG state; use a "
+            f"generator derived from simkernel.rng.SeededRng",
+        )

@@ -1,0 +1,244 @@
+"""ATH2xx — the feature-name validator.
+
+Athena applications are *configuration*: they name catalog features in
+query constraints, preprocessor configs, and detector feature lists.  A
+misspelled name is not a syntax error anywhere — the query just matches
+nothing and the detector trains on zeros — so this checker resolves
+every string literal in a feature-name position against the live
+:data:`~repro.core.features.catalog.FEATURE_CATALOG` (which includes the
+derived ``*_VAR`` siblings) and suggests the nearest real name.
+
+Feature-name positions covered:
+
+* ``Condition(fieldname, op, value)`` and the ``where`` family
+  (``where`` / ``and_where`` / ``or_where``), plus ``sort_by`` and the
+  folded field of ``aggregate``;
+* textual constraint strings handed to ``Query`` / ``GenerateQuery`` /
+  ``q_text`` / ``parse_constraints`` (fieldnames are the tokens left of
+  a comparison operator);
+* preprocessor configs: ``features=`` lists, ``weights=`` dict keys,
+  ``add`` / ``add_all`` / ``set_weight`` calls, and the ``with_weights``
+  utility;
+* module-level ``*_FEATURES`` list constants (detector configs).
+
+Only names that *look like* catalog names (``UPPER_SNAKE``) resolve
+against the catalog; lowercase names in definite fieldname positions
+are checked against the feature format's index keys as a warning.
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+import re
+from typing import Iterable, Iterator, List, Optional
+
+from repro.analysis.astutil import string_elements, string_value
+from repro.analysis.engine import Checker, ParsedModule
+from repro.analysis.findings import Finding, Severity
+from repro.core.feature_format import INDEX_KEYS
+from repro.core.features.catalog import FEATURE_CATALOG
+
+#: Methods whose first argument is a fieldname.
+_FIELDNAME_METHODS = {"where", "and_where", "or_where", "sort_by", "set_weight"}
+
+#: Callables whose first argument is a textual constraint string.
+_TEXTUAL_QUERY_CALLS = {"Query", "GenerateQuery", "q_text", "parse_constraints"}
+
+#: Callables taking a ``features=`` sequence and/or ``weights=`` mapping.
+_PREPROCESSOR_CALLS = {
+    "Preprocessor",
+    "GeneratePreprocessor",
+    "preprocessor",
+    "normalized_minmax",
+    "normalized_standard",
+}
+
+#: Fieldname tokens are whatever sits left of a comparison operator.
+_TEXT_FIELD_RE = re.compile(r"([A-Za-z_][\w]*)\s*(?:>=|<=|==|!=|>|<)")
+
+#: A name that claims to be a catalog feature.
+_FEATURE_LIKE_RE = re.compile(r"[A-Z][A-Z0-9_]{2,}")
+
+#: Fields legitimate in queries besides the catalog: index/meta keys and
+#: the aggregation group key.
+_KNOWN_INDEX_FIELDS = frozenset(INDEX_KEYS) | {"_id"}
+
+
+class FeatureNameChecker(Checker):
+    """Resolves configured feature names against the catalog."""
+
+    name = "features"
+    rules = {
+        "ATH201": "unknown feature name (not in FEATURE_CATALOG, "
+        "including *_VAR siblings)",
+        "ATH202": "unknown index field in a query constraint "
+        "(not in the feature format's INDEX_KEYS)",
+    }
+
+    def check(self, module: ParsedModule) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                findings.extend(self._check_call(module, node))
+            elif isinstance(node, ast.Assign):
+                findings.extend(self._check_feature_list_constant(module, node))
+        return findings
+
+    # -- call sites ---------------------------------------------------------
+
+    def _check_call(self, module: ParsedModule, node: ast.Call) -> Iterator[Finding]:
+        callee = self._callee_name(node)
+        if callee is None:
+            return
+        if callee in _FIELDNAME_METHODS or callee == "Condition":
+            yield from self._check_fieldname_arg(module, node)
+        elif callee == "aggregate":
+            yield from self._check_aggregate(module, node)
+        elif callee in ("add", "add_all"):
+            yield from self._check_add(module, node)
+        elif callee in _TEXTUAL_QUERY_CALLS:
+            yield from self._check_textual_query(module, node)
+        elif callee in _PREPROCESSOR_CALLS or callee == "with_weights":
+            yield from self._check_preprocessor(module, node, callee)
+
+    @staticmethod
+    def _callee_name(node: ast.Call) -> Optional[str]:
+        if isinstance(node.func, ast.Attribute):
+            return node.func.attr
+        if isinstance(node.func, ast.Name):
+            return node.func.id
+        return None
+
+    def _check_fieldname_arg(
+        self, module: ParsedModule, node: ast.Call
+    ) -> Iterator[Finding]:
+        target = node.args[0] if node.args else None
+        for keyword in node.keywords:
+            if keyword.arg == "fieldname":
+                target = keyword.value
+        if target is None:
+            return
+        name = string_value(target)
+        if name is not None:
+            yield from self._validate(module, target, name, definite_field=True)
+
+    def _check_aggregate(
+        self, module: ParsedModule, node: ast.Call
+    ) -> Iterator[Finding]:
+        # aggregate(group_by, fieldname, func): group keys are index
+        # fields, the folded field is usually a catalog feature.
+        if node.args:
+            for element in string_elements(node.args[0]):
+                yield from self._validate(module, element, element.value)
+        if len(node.args) > 1:
+            name = string_value(node.args[1])
+            if name is not None:
+                yield from self._validate(module, node.args[1], name)
+        for keyword in node.keywords:
+            if keyword.arg == "fieldname":
+                name = string_value(keyword.value)
+                if name is not None:
+                    yield from self._validate(module, keyword.value, name)
+
+    def _check_add(self, module: ParsedModule, node: ast.Call) -> Iterator[Finding]:
+        # .add("NAME") / .add_all(["NAME", ...]) appear on many types, so
+        # only catalog-looking strings are considered at all.
+        if not node.args:
+            return
+        name = string_value(node.args[0])
+        if name is not None:
+            yield from self._validate(module, node.args[0], name)
+        for element in string_elements(node.args[0]):
+            yield from self._validate(module, element, element.value)
+
+    def _check_textual_query(
+        self, module: ParsedModule, node: ast.Call
+    ) -> Iterator[Finding]:
+        if not node.args:
+            return
+        text = string_value(node.args[0])
+        if text is None:
+            return
+        for fieldname in _TEXT_FIELD_RE.findall(text):
+            yield from self._validate(
+                module, node.args[0], fieldname, definite_field=True
+            )
+
+    def _check_preprocessor(
+        self, module: ParsedModule, node: ast.Call, callee: str
+    ) -> Iterator[Finding]:
+        positional_features: Optional[ast.AST] = None
+        if callee in ("preprocessor", "normalized_minmax", "normalized_standard"):
+            positional_features = node.args[0] if node.args else None
+        if callee == "with_weights" and len(node.args) > 1:
+            yield from self._check_weights(module, node.args[1])
+        if positional_features is not None:
+            for element in string_elements(positional_features):
+                yield from self._validate(module, element, element.value)
+        for keyword in node.keywords:
+            if keyword.arg == "features":
+                for element in string_elements(keyword.value):
+                    yield from self._validate(module, element, element.value)
+            elif keyword.arg == "weights":
+                yield from self._check_weights(module, keyword.value)
+
+    def _check_weights(self, module: ParsedModule, node: ast.AST) -> Iterator[Finding]:
+        if not isinstance(node, ast.Dict):
+            return
+        for key in node.keys:
+            if key is None:
+                continue
+            name = string_value(key)
+            if name is not None:
+                yield from self._validate(module, key, name)
+
+    # -- detector config constants -------------------------------------------
+
+    def _check_feature_list_constant(
+        self, module: ParsedModule, node: ast.Assign
+    ) -> Iterator[Finding]:
+        named_features = any(
+            isinstance(target, ast.Name) and target.id.endswith("_FEATURES")
+            for target in node.targets
+        )
+        if not named_features:
+            return
+        for element in string_elements(node.value):
+            yield from self._validate(module, element, element.value)
+
+    # -- resolution ---------------------------------------------------------
+
+    def _validate(
+        self,
+        module: ParsedModule,
+        node: ast.AST,
+        name: str,
+        definite_field: bool = False,
+    ) -> Iterator[Finding]:
+        if _FEATURE_LIKE_RE.fullmatch(name):
+            if name in FEATURE_CATALOG or name in _KNOWN_INDEX_FIELDS:
+                return
+            nearest = FEATURE_CATALOG.suggest(name)
+            hint = f"; did you mean {nearest!r}?" if nearest else ""
+            yield self.finding(
+                module,
+                node,
+                "ATH201",
+                f"unknown feature {name!r} is not in FEATURE_CATALOG{hint}",
+            )
+        elif definite_field and re.fullmatch(r"[a-z_][a-z0-9_]*", name):
+            if name in _KNOWN_INDEX_FIELDS:
+                return
+            nearest = difflib.get_close_matches(
+                name, sorted(_KNOWN_INDEX_FIELDS), n=1, cutoff=0.6
+            )
+            hint = f"; did you mean {nearest[0]!r}?" if nearest else ""
+            yield self.finding(
+                module,
+                node,
+                "ATH202",
+                f"unknown index field {name!r} is not in the feature "
+                f"format's INDEX_KEYS{hint}",
+                severity=Severity.WARNING,
+            )

@@ -1,0 +1,176 @@
+"""ATH3xx — northbound-API misuse.
+
+The eight core NB functions are the entire programming surface of an
+Athena application, and Python only validates their call shapes at run
+time — midway through an experiment.  This checker introspects the real
+:class:`~repro.core.northbound.AthenaNorthbound` signatures (so it can
+never drift from the code) and verifies every call site that uses a core
+name, in either Python style (``request_features``) or the paper's
+PascalCase (``RequestFeatures``).  Algorithm names handed to
+``GenerateAlgorithm`` / ``create_algorithm`` / ``Algorithm(name=...)``
+are resolved against :mod:`repro.ml.registry` the same way the Detector
+Manager will resolve them later.
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+import inspect
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.astutil import string_value
+from repro.analysis.engine import Checker, ParsedModule
+from repro.analysis.findings import Finding
+
+#: Callables whose first argument is a registry algorithm name.
+_ALGORITHM_CALLS = {"GenerateAlgorithm", "create_algorithm"}
+
+
+def _core_signatures() -> Dict[str, Tuple[Set[str], int]]:
+    """name -> (acceptable keyword names, max positional args).
+
+    Built from the live class via :func:`inspect.signature`; both the
+    snake_case methods and their paper-style aliases land in the map.
+    """
+    from repro.core.northbound import AthenaNorthbound
+
+    signatures: Dict[str, Tuple[Set[str], int]] = {}
+    for paper_name in AthenaNorthbound.core_api_names():
+        func = getattr(AthenaNorthbound, paper_name)
+        parameters = [
+            p
+            for p in inspect.signature(func).parameters.values()
+            if p.name != "self"
+        ]
+        keywords = {
+            p.name
+            for p in parameters
+            if p.kind
+            in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+        }
+        max_positional = sum(
+            1
+            for p in parameters
+            if p.kind
+            in (
+                inspect.Parameter.POSITIONAL_ONLY,
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            )
+        )
+        spec = (keywords, max_positional)
+        signatures[paper_name] = spec
+        signatures[func.__name__] = spec  # the snake_case original
+    return signatures
+
+
+def _registry_names() -> List[str]:
+    from repro.ml.registry import list_algorithms
+
+    return list_algorithms()
+
+
+def _is_known_algorithm(name: str) -> bool:
+    from repro.ml.registry import _normalise, _REGISTRY
+
+    return _normalise(name) in _REGISTRY
+
+
+class NorthboundChecker(Checker):
+    """Verifies core NB call shapes and registry algorithm names."""
+
+    name = "northbound"
+    rules = {
+        "ATH301": "unknown keyword argument to a core NB API",
+        "ATH302": "too many positional arguments to a core NB API",
+        "ATH303": "unknown algorithm name (not in repro.ml.registry)",
+    }
+
+    def __init__(self) -> None:
+        self._signatures = _core_signatures()
+
+    def check(self, module: ParsedModule) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            findings.extend(self._check_nb_call(module, node))
+            findings.extend(self._check_algorithm_name(module, node))
+        return findings
+
+    # -- core NB call shapes -------------------------------------------------
+
+    def _check_nb_call(self, module: ParsedModule, node: ast.Call) -> Iterator[Finding]:
+        if not isinstance(node.func, ast.Attribute):
+            return  # only method-style calls: nb.RequestFeatures(...)
+        spec = self._signatures.get(node.func.attr)
+        if spec is None:
+            return
+        keywords, max_positional = spec
+        for keyword in node.keywords:
+            if keyword.arg is None:  # **kwargs forwarding — not checkable
+                continue
+            if keyword.arg not in keywords:
+                nearest = difflib.get_close_matches(
+                    keyword.arg, sorted(keywords), n=1, cutoff=0.6
+                )
+                hint = f"; did you mean {nearest[0]!r}?" if nearest else ""
+                yield self.finding(
+                    module,
+                    keyword.value,
+                    "ATH301",
+                    f"{node.func.attr}() has no keyword {keyword.arg!r} "
+                    f"(accepts {sorted(keywords)}){hint}",
+                )
+        positional = [arg for arg in node.args if not isinstance(arg, ast.Starred)]
+        if len(positional) > max_positional and len(positional) == len(node.args):
+            yield self.finding(
+                module,
+                node,
+                "ATH302",
+                f"{node.func.attr}() takes at most {max_positional} "
+                f"positional arguments, got {len(positional)}",
+            )
+
+    # -- algorithm names ------------------------------------------------------
+
+    def _check_algorithm_name(
+        self, module: ParsedModule, node: ast.Call
+    ) -> Iterator[Finding]:
+        callee = (
+            node.func.id
+            if isinstance(node.func, ast.Name)
+            else node.func.attr
+            if isinstance(node.func, ast.Attribute)
+            else None
+        )
+        if callee is None:
+            return
+        target: Optional[ast.AST] = None
+        if callee in _ALGORITHM_CALLS:
+            target = node.args[0] if node.args else None
+            for keyword in node.keywords:
+                if keyword.arg == "name":
+                    target = keyword.value
+        elif callee == "Algorithm":
+            for keyword in node.keywords:
+                if keyword.arg == "name":
+                    target = keyword.value
+            if target is None and node.args:
+                target = node.args[0]
+        if target is None:
+            return
+        algorithm = string_value(target)
+        if algorithm is None or _is_known_algorithm(algorithm):
+            return
+        nearest = difflib.get_close_matches(
+            algorithm, _registry_names(), n=1, cutoff=0.5
+        )
+        hint = f"; did you mean {nearest[0]!r}?" if nearest else ""
+        yield self.finding(
+            module,
+            target,
+            "ATH303",
+            f"algorithm {algorithm!r} is not registered in repro.ml.registry "
+            f"(known: {', '.join(_registry_names())}){hint}",
+        )

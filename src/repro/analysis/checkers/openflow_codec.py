@@ -1,0 +1,278 @@
+"""ATH4xx — OpenFlow codec invariants.
+
+The binary codec in ``openflow/serialization.py`` must stay in lockstep
+with the message dataclasses in ``openflow/messages.py`` and the enums
+in ``openflow/constants.py``: a message class without pack/unpack
+support only fails when the first instance crosses the wire, usually
+deep inside a Cbench run.  This checker is cross-file — it fires when it
+sees ``serialization.py`` inside an ``openflow`` package, reads the two
+sibling modules from disk, and verifies statically (AST only, nothing
+imported) that:
+
+* every concrete message class is registered in ``CODEC_REGISTRY``
+  (ATH401) and constructed somewhere on the unpack path (ATH402);
+* every ``CODEC_REGISTRY`` entry names a real message class (ATH401)
+  whose registered wire type matches the class's declared ``msg_type``
+  (ATH404);
+* every ``Enum.MEMBER`` reference in either module exists in the enums
+  ``constants.py`` actually defines (ATH403).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.astutil import dotted_name
+from repro.analysis.engine import Checker, ParsedModule
+from repro.analysis.findings import Finding
+
+#: Classes that exist only to carry shared fields; never wire-encoded.
+_ABSTRACT = {"OpenFlowMessage", "StatsRequest", "StatsReply"}
+
+_ROOT_CLASS = "OpenFlowMessage"
+
+
+def _class_defs(tree: ast.AST) -> Dict[str, ast.ClassDef]:
+    return {
+        node.name: node
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ClassDef)
+    }
+
+
+def _message_classes(classes: Dict[str, ast.ClassDef]) -> Set[str]:
+    """Names of (direct or transitive) OpenFlowMessage subclasses."""
+
+    def descends(name: str, seen: Set[str]) -> bool:
+        if name == _ROOT_CLASS:
+            return True
+        node = classes.get(name)
+        if node is None or name in seen:
+            return False
+        seen.add(name)
+        return any(
+            isinstance(base, ast.Name) and descends(base.id, seen)
+            for base in node.bases
+        )
+
+    return {name for name in classes if descends(name, set())}
+
+
+def _declared_msg_types(
+    classes: Dict[str, ast.ClassDef], message_names: Set[str]
+) -> Dict[str, str]:
+    """class name -> ``MessageType.X`` it assigns to ``self.msg_type``,
+    following the single-inheritance chain for stats subclasses."""
+
+    own: Dict[str, str] = {}
+    for name in message_names:
+        for node in ast.walk(classes[name]):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr == "msg_type"
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    dotted = dotted_name(node.value)
+                    if dotted and dotted.startswith("MessageType."):
+                        own[name] = dotted
+
+    def inherited(name: str) -> Optional[str]:
+        if name in own:
+            return own[name]
+        node = classes.get(name)
+        if node is None:
+            return None
+        for base in node.bases:
+            if isinstance(base, ast.Name):
+                found = inherited(base.id)
+                if found:
+                    return found
+        return None
+
+    return {name: value for name in message_names if (value := inherited(name))}
+
+
+def _enum_references(tree: ast.AST, enum_names: Set[str]) -> List[Tuple[str, str, int]]:
+    """Every ``EnumName.MEMBER`` attribute access: (enum, member, line)."""
+    references = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in enum_names
+        ):
+            references.append((node.value.id, node.attr, node.lineno))
+    return references
+
+
+def _enum_members(tree: ast.AST) -> Dict[str, Set[str]]:
+    """Enum class name -> member names, for classes based on IntEnum/Enum."""
+    members: Dict[str, Set[str]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        bases = {base.id for base in node.bases if isinstance(base, ast.Name)}
+        if not bases & {"Enum", "IntEnum", "IntFlag", "Flag"}:
+            continue
+        members[node.name] = {
+            target.id
+            for statement in node.body
+            if isinstance(statement, ast.Assign)
+            for target in statement.targets
+            if isinstance(target, ast.Name)
+        }
+    return members
+
+
+class OpenFlowCodecChecker(Checker):
+    """Cross-checks messages.py / serialization.py / constants.py."""
+
+    name = "openflow-codec"
+    rules = {
+        "ATH401": "message class and CODEC_REGISTRY disagree "
+        "(unregistered class, or registry entry without a class)",
+        "ATH402": "registered message class is never constructed on the "
+        "unpack path of serialization.py",
+        "ATH403": "enum member referenced but not defined in constants.py",
+        "ATH404": "CODEC_REGISTRY wire type disagrees with the class's "
+        "declared msg_type",
+    }
+
+    def check(self, module: ParsedModule) -> Iterable[Finding]:
+        if os.path.basename(module.path) != "serialization.py":
+            return []
+        package_dir = os.path.dirname(os.path.abspath(module.path))
+        if os.path.basename(package_dir) != "openflow":
+            return []
+        siblings = {}
+        rel_dir = os.path.dirname(module.relpath)
+        for stem in ("messages", "constants"):
+            sibling_path = os.path.join(package_dir, f"{stem}.py")
+            if not os.path.isfile(sibling_path):
+                return []  # not the codec trio this checker understands
+            with open(sibling_path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            siblings[stem] = ParsedModule(
+                path=sibling_path,
+                relpath=f"{rel_dir}/{stem}.py" if rel_dir else f"{stem}.py",
+                source=source,
+                tree=ast.parse(source, filename=sibling_path),
+            )
+        return list(self._check_trio(module, siblings["messages"], siblings["constants"]))
+
+    # -- the cross-file analysis ----------------------------------------------
+
+    def _check_trio(
+        self,
+        serialization: ParsedModule,
+        messages: ParsedModule,
+        constants: ParsedModule,
+    ) -> Iterator[Finding]:
+        message_classes = _class_defs(messages.tree)
+        concrete = _message_classes(message_classes) - _ABSTRACT
+        declared_types = _declared_msg_types(message_classes, concrete | _ABSTRACT)
+
+        registry = self._codec_registry(serialization.tree)
+        constructed = self._constructed_names(serialization.tree)
+
+        # ATH401 both directions.
+        for name in sorted(concrete - set(registry)):
+            yield self.finding(
+                serialization,
+                message_classes[name],
+                "ATH401",
+                f"message class {name} (messages.py:{message_classes[name].lineno}) "
+                f"is not registered in CODEC_REGISTRY",
+            )
+        for name, (node, _wire_type) in sorted(registry.items()):
+            if name not in message_classes:
+                yield self.finding(
+                    serialization,
+                    node,
+                    "ATH401",
+                    f"CODEC_REGISTRY entry {name} has no class in messages.py",
+                )
+            elif name in _ABSTRACT:
+                yield self.finding(
+                    serialization,
+                    node,
+                    "ATH401",
+                    f"CODEC_REGISTRY entry {name} is an abstract message base",
+                )
+
+        # ATH402: unpack support == the class is constructed somewhere in
+        # serialization.py outside the registry literal itself.
+        for name, (node, _wire_type) in sorted(registry.items()):
+            if name in message_classes and name not in constructed:
+                yield self.finding(
+                    serialization,
+                    node,
+                    "ATH402",
+                    f"{name} is registered but never constructed by an "
+                    f"unpack path in serialization.py",
+                )
+
+        # ATH404: registry wire type vs the class's declared msg_type.
+        for name, (node, wire_type) in sorted(registry.items()):
+            declared = declared_types.get(name)
+            if wire_type and declared and wire_type != declared:
+                yield self.finding(
+                    serialization,
+                    node,
+                    "ATH404",
+                    f"CODEC_REGISTRY maps {name} to {wire_type} but the "
+                    f"class declares msg_type = {declared}",
+                )
+
+        # ATH403: enum references must exist in constants.py.
+        enums = _enum_members(constants.tree)
+        for parsed in (messages, serialization):
+            for enum_name, member, lineno in _enum_references(
+                parsed.tree, set(enums)
+            ):
+                if member not in enums[enum_name]:
+                    anchor = ast.Constant(value=None)
+                    anchor.lineno = lineno
+                    anchor.col_offset = 0
+                    yield self.finding(
+                        parsed,
+                        anchor,
+                        "ATH403",
+                        f"{enum_name}.{member} is not defined in constants.py",
+                    )
+
+    @staticmethod
+    def _codec_registry(tree: ast.AST) -> Dict[str, Tuple[ast.AST, Optional[str]]]:
+        """CODEC_REGISTRY keys -> (AST node, ``MessageType.X`` value)."""
+        registry: Dict[str, Tuple[ast.AST, Optional[str]]] = {}
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            if not any(
+                isinstance(t, ast.Name) and t.id == "CODEC_REGISTRY" for t in targets
+            ):
+                continue
+            value = node.value
+            if not isinstance(value, ast.Dict):
+                continue
+            for key, entry in zip(value.keys, value.values):
+                if isinstance(key, ast.Name):
+                    registry[key.id] = (key, dotted_name(entry))
+        return registry
+
+    @staticmethod
+    def _constructed_names(tree: ast.AST) -> Set[str]:
+        """Class names called (constructed) anywhere in the module."""
+        return {
+            node.func.id
+            for node in ast.walk(tree)
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+        }
+

@@ -1,0 +1,91 @@
+"""Lint configuration (the ``[tool.athena-lint]`` pyproject section).
+
+Two knobs, both path-scoped so one repository can hold framework code
+(linted strictly), benchmarks (where wall-clock timing is legitimate),
+and fixtures (not linted at all):
+
+* ``exclude`` — path prefixes skipped entirely;
+* ``disable`` — mapping of path prefix to rule-id prefixes silenced
+  under that prefix (``"ATH1"`` silences the whole determinism family).
+
+Example::
+
+    [tool.athena-lint]
+    exclude = ["build"]
+
+    [tool.athena-lint.disable]
+    "benchmarks" = ["ATH1"]
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+def _normalise(path: str) -> str:
+    return path.replace(os.sep, "/").strip("/")
+
+
+@dataclass
+class LintConfig:
+    """Resolved athena-lint settings."""
+
+    #: Path prefixes (relative, "/"-separated) skipped entirely.
+    exclude: List[str] = field(default_factory=list)
+    #: Path prefix -> rule-id prefixes disabled beneath it.
+    disable: Dict[str, List[str]] = field(default_factory=dict)
+
+    def is_excluded(self, relpath: str) -> bool:
+        relpath = _normalise(relpath)
+        return any(
+            relpath == prefix or relpath.startswith(prefix + "/")
+            for prefix in (_normalise(p) for p in self.exclude)
+        )
+
+    def disabled_rules(self, relpath: str) -> Tuple[str, ...]:
+        relpath = _normalise(relpath)
+        disabled: List[str] = []
+        for prefix, rules in self.disable.items():
+            prefix = _normalise(prefix)
+            if relpath == prefix or relpath.startswith(prefix + "/"):
+                disabled.extend(rules)
+        return tuple(disabled)
+
+    def is_rule_disabled(self, relpath: str, rule: str) -> bool:
+        return any(rule.startswith(prefix) for prefix in self.disabled_rules(relpath))
+
+
+def load_config(pyproject_path: Optional[str]) -> LintConfig:
+    """Read ``[tool.athena-lint]`` from a pyproject file.
+
+    Missing file or missing section both yield the default (empty)
+    config, so the linter runs out of the box on any tree.
+    """
+    if not pyproject_path or not os.path.isfile(pyproject_path):
+        return LintConfig()
+    import tomllib
+
+    with open(pyproject_path, "rb") as handle:
+        data = tomllib.load(handle)
+    section = data.get("tool", {}).get("athena-lint", {})
+    exclude = [str(p) for p in section.get("exclude", [])]
+    disable = {
+        str(path): [str(rule) for rule in rules]
+        for path, rules in section.get("disable", {}).items()
+    }
+    return LintConfig(exclude=exclude, disable=disable)
+
+
+def find_pyproject(start: str = ".") -> Optional[str]:
+    """Walk up from ``start`` to the nearest pyproject.toml."""
+    current = os.path.abspath(start)
+    while True:
+        candidate = os.path.join(current, "pyproject.toml")
+        if os.path.isfile(candidate):
+            return candidate
+        parent = os.path.dirname(current)
+        if parent == current:
+            return None
+        current = parent

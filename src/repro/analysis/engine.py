@@ -1,0 +1,237 @@
+"""The athena-lint engine.
+
+Walks Python sources with :mod:`ast`, hands each parsed module to a set
+of framework-aware checkers, and filters the raw findings through two
+suppression layers:
+
+* inline directives — ``# athena-lint: disable=ATH101`` on the flagged
+  line (comma-separated rule ids, or no ``=RULE`` part to silence the
+  whole line), and ``# athena-lint: disable-file=ATH2`` anywhere in the
+  file to silence a rule family file-wide;
+* the ``[tool.athena-lint]`` pyproject config (path excludes and
+  per-path rule disables, see :mod:`repro.analysis.config`).
+
+Checkers subclass :class:`Checker` and yield :class:`Finding` objects;
+the engine owns ordering, deduplication, and suppression so checkers
+stay pure AST visitors.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.config import LintConfig
+from repro.analysis.findings import Finding, Severity
+
+#: Matches one inline suppression directive in a source line.
+_DIRECTIVE_RE = re.compile(
+    r"#\s*athena-lint:\s*(?P<kind>disable-file|disable)"
+    r"(?:\s*=\s*(?P<rules>[A-Za-z0-9_,\s-]+))?"
+)
+
+#: Sentinel rule set meaning "every rule".
+_ALL_RULES = ("*",)
+
+
+def _parse_directives(source: str) -> Tuple[Dict[int, Tuple[str, ...]], Tuple[str, ...]]:
+    """Extract line-scoped and file-scoped suppressions from source text.
+
+    Returns ``(line -> rule ids, file-wide rule ids)`` where ``("*",)``
+    means every rule.  Comment parsing is intentionally line-based: the
+    AST has no comments, and a directive only ever applies to the
+    physical line carrying it.
+    """
+    per_line: Dict[int, Tuple[str, ...]] = {}
+    file_wide: List[str] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _DIRECTIVE_RE.search(text)
+        if match is None:
+            continue
+        raw = match.group("rules")
+        rules = (
+            tuple(r.strip() for r in raw.split(",") if r.strip())
+            if raw
+            else _ALL_RULES
+        )
+        if match.group("kind") == "disable-file":
+            file_wide.extend(rules)
+        else:
+            per_line[lineno] = rules
+    return per_line, tuple(file_wide)
+
+
+def _rule_matches(rule: str, patterns: Iterable[str]) -> bool:
+    return any(pattern == "*" or rule.startswith(pattern) for pattern in patterns)
+
+
+@dataclass
+class ParsedModule:
+    """One source file, parsed and ready for checking."""
+
+    path: str  # path as given on the command line / engine call
+    relpath: str  # "/"-separated path relative to the lint root
+    source: str
+    tree: ast.AST
+
+    @classmethod
+    def parse(cls, path: str, root: str = ".") -> "ParsedModule":
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        return cls.from_source(source, path, root=root)
+
+    @classmethod
+    def from_source(cls, source: str, path: str, root: str = ".") -> "ParsedModule":
+        try:
+            relpath = os.path.relpath(path, root)
+        except ValueError:  # different drive on Windows
+            relpath = path
+        return cls(
+            path=path,
+            relpath=relpath.replace(os.sep, "/"),
+            source=source,
+            tree=ast.parse(source, filename=path),
+        )
+
+
+class Checker:
+    """Base class for one lint pass over a parsed module.
+
+    Subclasses set ``name`` and ``rules`` (rule id -> one-line
+    description) and implement :meth:`check`.  A checker never worries
+    about suppression or ordering — it just yields findings.
+    """
+
+    name: str = "base"
+    rules: Dict[str, str] = {}
+
+    def check(self, module: ParsedModule) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        module: ParsedModule,
+        node: ast.AST,
+        rule: str,
+        message: str,
+        severity: Severity = Severity.ERROR,
+    ) -> Finding:
+        """Build a finding anchored at an AST node."""
+        return Finding(
+            path=module.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=rule,
+            message=message,
+            checker=self.name,
+            severity=severity,
+        )
+
+
+@dataclass
+class LintReport:
+    """The outcome of one engine run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    files_skipped: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for f in self.findings if f.severity is Severity.ERROR)
+
+    @property
+    def warning_count(self) -> int:
+        return sum(1 for f in self.findings if f.severity is Severity.WARNING)
+
+    @property
+    def failed(self) -> bool:
+        """Whether the run should exit non-zero."""
+        return bool(self.error_count or self.parse_errors)
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+class LintEngine:
+    """Collects files, runs checkers, applies suppressions."""
+
+    def __init__(
+        self,
+        checkers: Sequence[Checker],
+        config: Optional[LintConfig] = None,
+        root: str = ".",
+    ) -> None:
+        self.checkers = list(checkers)
+        self.config = config or LintConfig()
+        self.root = root
+
+    # -- file collection ----------------------------------------------------
+
+    def collect_files(self, paths: Sequence[str]) -> List[str]:
+        """Expand files and directories into a sorted list of .py files."""
+        collected: Set[str] = set()
+        for path in paths:
+            if os.path.isdir(path):
+                for dirpath, dirnames, filenames in os.walk(path):
+                    dirnames[:] = sorted(
+                        d for d in dirnames if d not in ("__pycache__", ".git")
+                    )
+                    for filename in sorted(filenames):
+                        if filename.endswith(".py"):
+                            collected.add(os.path.join(dirpath, filename))
+            elif path.endswith(".py"):
+                collected.add(path)
+        return sorted(collected)
+
+    # -- the run ------------------------------------------------------------
+
+    def run(self, paths: Sequence[str]) -> LintReport:
+        report = LintReport()
+        for filepath in self.collect_files(paths):
+            relpath = os.path.relpath(filepath, self.root).replace(os.sep, "/")
+            if self.config.is_excluded(relpath):
+                report.files_skipped += 1
+                continue
+            try:
+                module = ParsedModule.parse(filepath, root=self.root)
+            except (OSError, SyntaxError) as exc:
+                report.parse_errors.append(f"{relpath}: {exc}")
+                continue
+            report.files_checked += 1
+            report.findings.extend(self.check_module(module))
+        report.findings.sort(key=Finding.sort_key)
+        return report
+
+    def check_module(self, module: ParsedModule) -> List[Finding]:
+        """Run every checker over one module and filter suppressions."""
+        per_line, file_wide = _parse_directives(module.source)
+        kept: List[Finding] = []
+        seen: Set[tuple] = set()
+        for checker in self.checkers:
+            for finding in checker.check(module):
+                if finding.sort_key() + (finding.message,) in seen:
+                    continue
+                seen.add(finding.sort_key() + (finding.message,))
+                if _rule_matches(finding.rule, file_wide):
+                    continue
+                if _rule_matches(finding.rule, per_line.get(finding.line, ())):
+                    continue
+                if self.config.is_rule_disabled(module.relpath, finding.rule):
+                    continue
+                kept.append(finding)
+        return kept
+
+    def rule_catalog(self) -> Dict[str, str]:
+        """rule id -> description across all registered checkers."""
+        catalog: Dict[str, str] = {}
+        for checker in self.checkers:
+            catalog.update(checker.rules)
+        return dict(sorted(catalog.items()))

@@ -1,0 +1,60 @@
+"""Lint findings and their stable wire form.
+
+A :class:`Finding` is one rule violation at one source location.  The
+JSON shape produced by :meth:`Finding.to_dict` is a stable contract —
+``repro.analysis`` reporters, the CI workflow, and the self-check tests
+all consume it — so the key set only ever grows behind a schema-version
+bump.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Dict
+
+
+#: Bumped whenever the JSON key set of a finding changes.
+SCHEMA_VERSION = 1
+
+
+class Severity(Enum):
+    """How a finding affects the lint exit code."""
+
+    ERROR = "error"  # fails the run (exit 1)
+    WARNING = "warning"  # reported, never fails the run
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    checker: str
+    severity: Severity = Severity.ERROR
+
+    def location(self) -> str:
+        """``file:line`` form used by the text reporter."""
+        return f"{self.path}:{self.line}"
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The schema-stable JSON form (keys are the v1 contract)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "checker": self.checker,
+        }

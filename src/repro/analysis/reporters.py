@@ -1,0 +1,70 @@
+"""Lint report rendering.
+
+Two reporters over the same :class:`~repro.analysis.engine.LintReport`:
+a human ``file:line [RULE] message`` text form, and a schema-stable JSON
+document (``schema_version`` 1) for CI and tooling.  Both write to an
+injectable stream, mirroring :class:`repro.core.ui_manager.UIManager`.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, Optional, TextIO
+
+from repro.analysis.engine import LintReport
+from repro.analysis.findings import SCHEMA_VERSION
+
+
+class TextReporter:
+    """``file:line:col [RULE] message`` lines plus a one-line summary."""
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream
+
+    def _out(self) -> TextIO:
+        return self.stream if self.stream is not None else sys.stdout
+
+    def report(self, report: LintReport) -> None:
+        out = self._out()
+        for error in report.parse_errors:
+            print(f"parse error: {error}", file=out)
+        for finding in report.findings:
+            print(
+                f"{finding.location()}:{finding.col} "
+                f"[{finding.rule}] {finding.severity.value}: {finding.message}",
+                file=out,
+            )
+        summary = (
+            f"athena-lint: {report.files_checked} file(s) checked, "
+            f"{report.error_count} error(s), {report.warning_count} warning(s)"
+        )
+        if report.files_skipped:
+            summary += f", {report.files_skipped} excluded"
+        print(summary, file=out)
+
+
+class JsonReporter:
+    """The machine-readable form (one JSON document, sorted keys)."""
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream
+
+    def to_dict(self, report: LintReport) -> Dict[str, Any]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "summary": {
+                "files_checked": report.files_checked,
+                "files_skipped": report.files_skipped,
+                "errors": report.error_count,
+                "warnings": report.warning_count,
+                "by_rule": report.by_rule(),
+            },
+            "parse_errors": list(report.parse_errors),
+            "findings": [finding.to_dict() for finding in report.findings],
+        }
+
+    def report(self, report: LintReport) -> None:
+        out = self.stream if self.stream is not None else sys.stdout
+        json.dump(self.to_dict(report), out, indent=2, sort_keys=True)
+        out.write("\n")

@@ -8,6 +8,7 @@ the reproduction's main entry points.
     python -m repro.cli features             # the feature catalog
     python -m repro.cli ddos --scale 0.001   # Scenario 1 end-to-end
     python -m repro.cli cbench --rounds 3    # the Table IX experiment
+    python -m repro.cli lint src/repro       # athena-lint static analysis
 """
 
 from __future__ import annotations
@@ -19,12 +20,13 @@ from typing import List, Optional
 
 def _cmd_info(args: argparse.Namespace) -> int:
     from repro.core.features.catalog import FEATURE_CATALOG
+    from repro.core.northbound import AthenaNorthbound
     from repro.core.utility import utility_api_count
     from repro.ml.registry import list_algorithms
 
     print("Athena reproduction (DSN 2017)")
     print(f"  features in catalog : {len(FEATURE_CATALOG)}")
-    print(f"  core NB APIs        : 8")
+    print(f"  core NB APIs        : {len(AthenaNorthbound.core_api_names())}")
     print(f"  utility APIs        : {utility_api_count()}")
     print(f"  ML algorithms       : {len(list_algorithms())} "
           f"({', '.join(list_algorithms())})")
@@ -88,6 +90,32 @@ def _cmd_cbench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        JsonReporter,
+        LintEngine,
+        TextReporter,
+        default_checkers,
+        find_pyproject,
+        load_config,
+    )
+
+    engine = LintEngine(
+        checkers=default_checkers(),
+        config=None if args.no_config else load_config(
+            args.config or find_pyproject()
+        ),
+    )
+    if args.list_rules:
+        for rule, description in engine.rule_catalog().items():
+            print(f"{rule}  {description}")
+        return 0
+    report = engine.run(args.paths)
+    reporter = JsonReporter() if args.format == "json" else TextReporter()
+    reporter.report(report)
+    return 1 if report.failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Athena reproduction operator CLI"
@@ -120,6 +148,21 @@ def build_parser() -> argparse.ArgumentParser:
     cbench.add_argument("--backend", choices=["mongo", "cassandra"],
                         default="mongo")
     cbench.set_defaults(handler=_cmd_cbench)
+
+    lint = commands.add_parser(
+        "lint", help="athena-lint: framework-aware static analysis"
+    )
+    lint.add_argument("paths", nargs="*", default=["src/repro"],
+                      help="files or directories to lint")
+    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument("--config", default=None,
+                      help="pyproject.toml carrying [tool.athena-lint] "
+                           "(default: nearest upward from the cwd)")
+    lint.add_argument("--no-config", action="store_true",
+                      help="ignore any [tool.athena-lint] configuration")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print every rule id and exit")
+    lint.set_defaults(handler=_cmd_lint)
     return parser
 
 

@@ -18,7 +18,8 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.core.feature_format import AthenaFeature
+from repro.core.feature_format import INDEX_KEYS, AthenaFeature
+from repro.core.features.catalog import FEATURE_CATALOG
 from repro.core.query import Query
 from repro.distdb import DatabaseCluster
 from repro.errors import AthenaError
@@ -79,8 +80,21 @@ class FeatureManager:
 
     # -- application-facing ------------------------------------------------------
 
+    @staticmethod
+    def validate_query_features(query: Query) -> None:
+        """Resolve every catalog-looking field the query names.
+
+        Uppercase names are the feature namespace (lowercase names are
+        index/meta fields), so a misspelled catalog name fails loudly with
+        a did-you-mean suggestion instead of silently matching nothing.
+        """
+        for name in query.fieldnames():
+            if name[:1].isalpha() and name == name.upper() and name not in INDEX_KEYS:
+                FEATURE_CATALOG.resolve(name)
+
     def request_features(self, query: Query) -> List[Dict[str, Any]]:
         """Retrieve stored features satisfying ``query`` (RequestFeatures)."""
+        self.validate_query_features(query)
         pipeline = query.to_db_pipeline()
         if pipeline is not None:
             return self.database.aggregate(FEATURE_COLLECTION, pipeline)

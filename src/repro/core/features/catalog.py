@@ -11,9 +11,10 @@ monitoring features".
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List
+from typing import Dict, Iterable, List, Optional
 
 from repro.core.feature_format import FeatureScope
 from repro.errors import FeatureError
@@ -39,7 +40,37 @@ class FeatureDef:
     varies: bool = False  # whether a *_VAR sibling is generated
 
 
-def _build_catalog() -> Dict[str, FeatureDef]:
+class FeatureCatalog(Dict[str, FeatureDef]):
+    """The catalog mapping with name-resolution helpers.
+
+    Both the framework (``FeatureManager``) and the static analyser
+    (``repro.analysis``) resolve user-supplied feature names through the
+    same two entry points, so a misspelling fails identically at lint
+    time and at run time — with the same did-you-mean suggestion.
+    """
+
+    def suggest(self, name: str) -> Optional[str]:
+        """The closest catalog name to ``name``, or None when nothing is near."""
+        matches = difflib.get_close_matches(name, list(self), n=1, cutoff=0.6)
+        return matches[0] if matches else None
+
+    def resolve(self, name: str) -> FeatureDef:
+        """Look up ``name``, raising :class:`FeatureError` with a
+        nearest-match suggestion when it is unknown."""
+        definition = self.get(name)
+        if definition is not None:
+            return definition
+        nearest = self.suggest(name)
+        hint = f" (did you mean {nearest!r}?)" if nearest else ""
+        raise FeatureError(f"unknown Athena feature {name!r}{hint}")
+
+    def validate(self, names: Iterable[str]) -> None:
+        """Resolve every name, raising on the first unknown one."""
+        for name in names:
+            self.resolve(name)
+
+
+def _build_catalog() -> "FeatureCatalog":
     P, C, S = FeatureCategory.PROTOCOL, FeatureCategory.COMBINATION, FeatureCategory.STATEFUL
     FLOW, PORT, SWITCH, CTRL = (
         FeatureScope.FLOW,
@@ -127,7 +158,7 @@ def _build_catalog() -> Dict[str, FeatureDef]:
         FeatureDef("MEDIAN_FLOW_PACKETS", S, SWITCH, "median packet count over live flows"),
         FeatureDef("GROWTH_SINGLE_FLOWS", S, SWITCH, "growth of unpaired flows", True),
     ]
-    catalog: Dict[str, FeatureDef] = {}
+    catalog: FeatureCatalog = FeatureCatalog()
     for definition in base:
         catalog[definition.name] = definition
         if definition.varies:
@@ -142,7 +173,7 @@ def _build_catalog() -> Dict[str, FeatureDef]:
 
 
 #: name -> FeatureDef for every feature Athena can generate.
-FEATURE_CATALOG: Dict[str, FeatureDef] = _build_catalog()
+FEATURE_CATALOG: FeatureCatalog = _build_catalog()
 
 
 def feature_names() -> List[str]:
@@ -155,10 +186,7 @@ def is_known_feature(name: str) -> bool:
 
 
 def require_known(name: str) -> FeatureDef:
-    definition = FEATURE_CATALOG.get(name)
-    if definition is None:
-        raise FeatureError(f"unknown Athena feature {name!r}")
-    return definition
+    return FEATURE_CATALOG.resolve(name)
 
 
 def features_by_category(category: FeatureCategory) -> List[str]:

@@ -39,6 +39,20 @@ def _collect_switch_ids(node: Union[BooleanNode, Condition]) -> List[int]:
 class AthenaNorthbound:
     """The eight core NB APIs over the manager layer."""
 
+    @classmethod
+    def core_api_names(cls) -> List[str]:
+        """The paper-style names of the core NB functions, introspected.
+
+        Every core function carries a ``PascalCase`` alias matching the
+        paper's pseudocode; counting those aliases keeps banners, docs,
+        and the static analyser in sync with the class itself.
+        """
+        return sorted(
+            name
+            for name, member in vars(cls).items()
+            if callable(member) and not name.startswith("_") and name[0].isupper()
+        )
+
     def __init__(
         self,
         feature_manager: FeatureManager,

@@ -313,6 +313,35 @@ class Query:
     def aggregation(self) -> Optional[AggregationSpec]:
         return self._aggregation
 
+    def fieldnames(self) -> List[str]:
+        """Every field this query references, in first-use order.
+
+        Covers the constraint tree, sort keys, and aggregation spec; the
+        Feature Manager validates the catalog-looking ones before hitting
+        the database.
+        """
+        seen: List[str] = []
+
+        def _add(name: str) -> None:
+            if name not in seen:
+                seen.append(name)
+
+        def _walk(node: Union[BooleanNode, Condition]) -> None:
+            if isinstance(node, Condition):
+                _add(node.fieldname)
+                return
+            for child in node.children:
+                _walk(child)
+
+        _walk(self._root)
+        for fieldname, _direction in self._sort:
+            _add(fieldname)
+        if self._aggregation is not None:
+            for fieldname in self._aggregation.group_by:
+                _add(fieldname)
+            _add(self._aggregation.field)
+        return seen
+
     # -- evaluation ----------------------------------------------------------------
 
     def matches(self, record: Union[AthenaFeature, Dict[str, Any]]) -> bool:

@@ -8,25 +8,37 @@ ASCII charts (the Figure 9 view), and alerts accumulate in an operator log.
 
 from __future__ import annotations
 
+import sys
 from collections import defaultdict
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, TextIO
 
 from repro.core.results import ValidationSummary
 
 
 class UIManager:
-    """Operator-facing result rendering and alert log."""
+    """Operator-facing result rendering and alert log.
 
-    def __init__(self, echo: bool = False) -> None:
-        #: When True, rendered output is also printed to stdout.
+    Output goes to an injectable ``stream`` (any text file object), so
+    tests and the lint reporters capture renderings deterministically;
+    without one, ``echo=True`` mirrors to the current stdout.
+    """
+
+    def __init__(self, echo: bool = False, stream: Optional[TextIO] = None) -> None:
+        #: When True, rendered output is also emitted (to ``stream`` or stdout).
         self.echo = echo
+        #: Destination for emitted output; providing one implies emission.
+        self.stream = stream
         self.alerts: List[Dict[str, Any]] = []
         self.rendered: List[str] = []
 
+    def _emit(self, text: str) -> None:
+        out = self.stream if self.stream is not None else sys.stdout
+        print(text, file=out)
+
     def _record(self, text: str) -> str:
         self.rendered.append(text)
-        if self.echo:
-            print(text)
+        if self.echo or self.stream is not None:
+            self._emit(text)
         return text
 
     def show(self, results: Any) -> str:
@@ -46,8 +58,8 @@ class UIManager:
         """Record an operator alert (the NAE monitor's SLA violations)."""
         entry = {"source": source, "message": message, "severity": severity}
         self.alerts.append(entry)
-        if self.echo:
-            print(f"[{severity.upper()}] {source}: {message}")
+        if self.echo or self.stream is not None:
+            self._emit(f"[{severity.upper()}] {source}: {message}")
 
     def show_timeseries(
         self,

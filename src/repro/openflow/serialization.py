@@ -47,12 +47,46 @@ from repro.openflow.messages import (
     PortStatsReply,
     PortStatsRequest,
     PortStatus,
+    StatsReply,
+    StatsRequest,
     TableStatsEntry,
     TableStatsReply,
     TableStatsRequest,
 )
 
 _HEADER = struct.Struct("!BBHI")  # version, type, length, xid
+
+#: Message classes the codec never encodes directly: the root and the two
+#: stats intermediates, which exist only to carry shared fields.
+ABSTRACT_MESSAGES = (OpenFlowMessage, StatsRequest, StatsReply)
+
+#: Every concrete message class the codec supports, mapped to the wire
+#: message type its body is encoded under.  Tests parametrize round-trips
+#: over this mapping, and ``repro.analysis`` cross-checks it against the
+#: class definitions in ``messages.py`` — a class missing here (or a
+#: registry entry without a class) is a lint error, not a runtime surprise.
+CODEC_REGISTRY: Dict[type, MessageType] = {
+    Hello: MessageType.HELLO,
+    EchoRequest: MessageType.ECHO_REQUEST,
+    EchoReply: MessageType.ECHO_REPLY,
+    FeaturesRequest: MessageType.FEATURES_REQUEST,
+    FeaturesReply: MessageType.FEATURES_REPLY,
+    PacketIn: MessageType.PACKET_IN,
+    PacketOut: MessageType.PACKET_OUT,
+    FlowMod: MessageType.FLOW_MOD,
+    FlowRemoved: MessageType.FLOW_REMOVED,
+    PortStatus: MessageType.PORT_STATUS,
+    FlowStatsRequest: MessageType.STATS_REQUEST,
+    PortStatsRequest: MessageType.STATS_REQUEST,
+    AggregateStatsRequest: MessageType.STATS_REQUEST,
+    TableStatsRequest: MessageType.STATS_REQUEST,
+    FlowStatsReply: MessageType.STATS_REPLY,
+    PortStatsReply: MessageType.STATS_REPLY,
+    AggregateStatsReply: MessageType.STATS_REPLY,
+    TableStatsReply: MessageType.STATS_REPLY,
+    BarrierRequest: MessageType.BARRIER_REQUEST,
+    BarrierReply: MessageType.BARRIER_REPLY,
+}
 
 
 def _pack_str(text: str) -> bytes:
@@ -193,6 +227,11 @@ def _unpack_actions(buf: bytes, offset: int) -> Tuple[List[act.Action], int]:
 
 def pack_message(msg: OpenFlowMessage, version: int = OFP_VERSION_13) -> bytes:
     """Encode a message to bytes (OpenFlow-style header + typed body)."""
+    if type(msg) not in CODEC_REGISTRY:
+        raise OpenFlowError(
+            f"{type(msg).__name__} has no codec registration; "
+            f"add it to CODEC_REGISTRY and the pack/unpack paths"
+        )
     body = _pack_body(msg)
     body = struct.pack("!Q", msg.dpid) + body
     length = _HEADER.size + len(body)
