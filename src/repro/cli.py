@@ -19,6 +19,7 @@ from typing import List, Optional
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.compute import available_backends
     from repro.core.features.catalog import FEATURE_CATALOG
     from repro.core.northbound import AthenaNorthbound
     from repro.core.utility import utility_api_count
@@ -30,6 +31,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"  utility APIs        : {utility_api_count()}")
     print(f"  ML algorithms       : {len(list_algorithms())} "
           f"({', '.join(list_algorithms())})")
+    print(f"  compute backends    : {', '.join(available_backends())}")
     return 0
 
 
@@ -47,6 +49,7 @@ def _cmd_features(args: argparse.Namespace) -> int:
 
 def _cmd_ddos(args: argparse.Namespace) -> int:
     from repro.apps.ddos import DDoSDetectorApp
+    from repro.compute import ComputeCluster
     from repro.controller import ControllerCluster
     from repro.core import AthenaDeployment
     from repro.dataplane.topologies import enterprise_topology
@@ -59,11 +62,21 @@ def _cmd_ddos(args: argparse.Namespace) -> int:
     topo = enterprise_topology()
     cluster = ControllerCluster(topo.network, n_instances=3)
     cluster.adopt_domains(topo.domains)
-    athena = AthenaDeployment(cluster)
+    compute = ComputeCluster(n_workers=args.workers, backend=args.backend)
+    athena = AthenaDeployment(
+        cluster,
+        compute=compute,
+        distributed_threshold=args.distributed_threshold,
+    )
     app = DDoSDetectorApp(algorithm=args.algorithm)
     athena.register_app(app)
     summary = app.run_batch(train_documents=train, test_documents=test)
     print(summary.render())
+    report = getattr(athena.detector_manager, "last_job_report", None)
+    if report is not None:
+        print(f"compute: backend={report.backend} workers={report.n_workers} "
+              f"wall={report.wall_seconds:.3f}s "
+              f"modeled_makespan={report.makespan_seconds:.3f}s")
     return 0
 
 
@@ -139,6 +152,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="fraction of the paper's 37.37M entries")
     ddos.add_argument("--algorithm", default="kmeans",
                       help="any registered algorithm name")
+    ddos.add_argument("--backend", choices=["serial", "process"], default=None,
+                      help="compute execution backend (default: "
+                           "$ATHENA_COMPUTE_BACKEND or serial)")
+    ddos.add_argument("--workers", type=int, default=4,
+                      help="compute cluster worker count")
+    ddos.add_argument("--distributed-threshold", type=int, default=50_000,
+                      help="dataset rows above which jobs run distributed")
     ddos.set_defaults(handler=_cmd_ddos)
 
     cbench = commands.add_parser("cbench", help="run the Table IX experiment")

@@ -75,9 +75,20 @@ class PartitionedDataset:
                 total += len(part)
         return total
 
-    def map_partitions(self, fn: Callable[[Any], Any]) -> "PartitionedDataset":
-        """Eagerly apply ``fn`` per partition (driver-local transformation)."""
-        return PartitionedDataset([fn(part) for part in self._partitions])
+    def map_partitions(
+        self, fn: Callable[[Any], Any], cluster=None, backend=None
+    ) -> "PartitionedDataset":
+        """Eagerly apply ``fn`` per partition.
+
+        Driver-local by default; pass a
+        :class:`~repro.compute.cluster.ComputeCluster` (and optionally a
+        ``backend`` name) to execute the transformation as a distributed
+        map job on that cluster's workers instead.
+        """
+        if cluster is None:
+            return PartitionedDataset([fn(part) for part in self._partitions])
+        report = cluster.run_map(self, fn, backend=backend)
+        return PartitionedDataset(report.result)
 
     def repartition(self, n_partitions: int) -> "PartitionedDataset":
         """Re-split the concatenation of all partitions."""

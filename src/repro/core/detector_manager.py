@@ -71,6 +71,9 @@ class DetectorManager:
         self._validator_ids = 0
         self.models_generated = 0
         self.validations_run = 0
+        #: JobReport of the most recent distributed validation (None when
+        #: the last validation ran on a single instance).
+        self.last_job_report = None
 
     # -- model generation ------------------------------------------------------
 
@@ -80,11 +83,15 @@ class DetectorManager:
         preprocessor: Preprocessor,
         algorithm: Algorithm,
         documents: Optional[List[Document]] = None,
+        backend: Optional[str] = None,
     ) -> DetectionModel:
         """GenerateDetectionModel(q, f, a).
 
         ``documents`` short-circuits the feature fetch when the caller
         already holds the training documents (bench replay path).
+        ``backend`` selects the compute execution backend for this
+        detection task's distributed training job (``"serial"`` /
+        ``"process"``; ``None`` keeps the cluster default).
         """
         started = time.perf_counter()
         if documents is None:
@@ -104,11 +111,11 @@ class DetectorManager:
                     f"{algorithm.name} needs labels; configure Marking in the preprocessor"
                 )
             job_report = self.attack_detector.run_training(
-                estimator, matrix, marks, algorithm
+                estimator, matrix, marks, algorithm, backend=backend
             )
         else:
             job_report = self.attack_detector.run_training(
-                estimator, matrix, None, algorithm
+                estimator, matrix, None, algorithm, backend=backend
             )
             if algorithm.needs_marks:
                 if marks is None:
@@ -134,8 +141,14 @@ class DetectorManager:
         preprocessor: Preprocessor,
         model: DetectionModel,
         documents: Optional[List[Document]] = None,
+        backend: Optional[str] = None,
     ) -> ValidationSummary:
-        """ValidateFeatures(q, f, m) → testing summary (Figure 6)."""
+        """ValidateFeatures(q, f, m) → testing summary (Figure 6).
+
+        ``backend`` selects the compute execution backend for this
+        validation task when it runs distributed (``None`` = cluster
+        default).
+        """
         started = time.perf_counter()
         if documents is None:
             documents = self.feature_manager.request_features(query)
@@ -148,7 +161,7 @@ class DetectorManager:
             active.marking = preprocessor.marking
         matrix, marks, docs = active.transform(documents)
         predictions, job_report = self.attack_detector.run_validation(
-            model.estimator, matrix
+            model.estimator, matrix, backend=backend
         )
         summary = self._summarise(model, matrix, marks, docs, predictions)
         summary.elapsed_seconds = time.perf_counter() - started

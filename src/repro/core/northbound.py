@@ -72,14 +72,28 @@ class AthenaNorthbound:
     # -- 1. RequestFeatures(q) ------------------------------------------------
 
     def request_features(self, query: Query) -> List[Dict[str, Any]]:
-        """Retrieve stored Athena features under user-defined constraints."""
+        """``RequestFeatures(q)`` — retrieve stored Athena features.
+
+        Table II, row 1.  ``q`` is a feature-constraint
+        :class:`~repro.core.query.Query` (Table III); matching feature
+        documents come back from the distributed feature store via the
+        Feature Manager, with the query's sort/aggregation/limit clauses
+        already applied.
+        """
         return self.features.request_features(query)
 
     # -- 2. ManageMonitor(q, o) --------------------------------------------------
 
     def manage_monitor(self, query: Optional[Query], operation: bool) -> None:
-        """Turn monitoring (feature generation) on/off, network-wide or for
-        the switches a query's ``switch_id`` constraints name."""
+        """``ManageMonitor(q, o)`` — switch feature monitoring on or off.
+
+        Table II, row 2.  ``o`` is the monitoring operation flag (Table
+        III's *o*): ``True`` enables feature generation, ``False``
+        disables it.  With ``q`` of ``None`` the flag applies
+        network-wide; otherwise it applies to the switches named by the
+        query's ``switch_id == N`` constraints, leaving the rest of the
+        network untouched.
+        """
         switch_ids = _collect_switch_ids(query._root) if query is not None else []
         if not switch_ids:
             self.resources.set_monitoring(operation)
@@ -98,10 +112,21 @@ class AthenaNorthbound:
         preprocessor: Preprocessor,
         algorithm: Algorithm,
         documents: Optional[List[Dict[str, Any]]] = None,
+        backend: Optional[str] = None,
     ) -> DetectionModel:
-        """Generate an anomaly detection model from features and an algorithm."""
+        """``GenerateDetectionModel(q, f, a)`` — train an anomaly model.
+
+        Table II, row 3.  Features matching ``q`` are shaped by the
+        preprocessor ``f`` (weighting / sampling / normalization /
+        marking, Table III) and fitted with algorithm ``a``; the Detector
+        Manager auto-configures the pipeline from the algorithm's
+        category.  Large datasets train on the compute cluster —
+        ``backend`` selects the execution backend for this detection task
+        (``"serial"``/``"process"``, ``None`` = cluster default).
+        Returns the generated :class:`DetectionModel` (Table III's *m*).
+        """
         return self.detector.generate_detection_model(
-            query, preprocessor, algorithm, documents=documents
+            query, preprocessor, algorithm, documents=documents, backend=backend
         )
 
     # -- 4. ValidateFeatures(q, f, m) ---------------------------------------------------
@@ -112,16 +137,31 @@ class AthenaNorthbound:
         preprocessor: Preprocessor,
         model: DetectionModel,
         documents: Optional[List[Dict[str, Any]]] = None,
+        backend: Optional[str] = None,
     ) -> ValidationSummary:
-        """Validate a feature set against a generated detection model."""
+        """``ValidateFeatures(q, f, m)`` — test features against a model.
+
+        Table II, row 4.  Features matching ``q`` are transformed by the
+        model's fitted preprocessor (``f`` contributes marking when the
+        fitted one lacks it) and classified by detection model ``m``;
+        large validations run on the compute cluster (``backend`` selects
+        this task's execution backend).  Returns the Figure 6
+        :class:`ValidationSummary` (Table III's *r'*).
+        """
         return self.detector.validate_features(
-            query, preprocessor, model, documents=documents
+            query, preprocessor, model, documents=documents, backend=backend
         )
 
     # -- 5. AddEventHandler(q) ---------------------------------------------------------
 
     def add_event_handler(self, query: Query, handler: Callable) -> int:
-        """Register for live delivery of features matching ``query``."""
+        """``AddEventHandler(q)`` — subscribe to live feature delivery.
+
+        Table II, row 5.  Registers ``handler`` (Table III's *e*) in the
+        Feature Manager's event delivery table; every incoming feature
+        matching ``q`` is delivered to it as it is generated.  Returns a
+        handler id for :meth:`remove_event_handler`.
+        """
         return self.features.add_event_handler(query, handler)
 
     def remove_event_handler(self, handler_id: int) -> bool:
@@ -136,10 +176,14 @@ class AthenaNorthbound:
         event_handler: Callable[[Any, bool], None],
         query: Optional[Query] = None,
     ) -> int:
-        """Examine incoming features online against a generated model.
+        """``AddOnlineValidator(f, m, e)`` — validate live features online.
 
-        ``query`` narrows which live features are validated (default: all).
-        The ``event_handler`` receives ``(feature, verdict)`` per validation.
+        Table II, row 6.  Each incoming feature is transformed by the
+        fitted preprocessor ``f`` and examined against detection model
+        ``m``; ``event_handler`` (Table III's *e*) receives
+        ``(feature, verdict)`` per validation.  ``query`` narrows which
+        live features are validated (default: all).  Returns the
+        validator id used by ``validator_stats``.
         """
         if model.preprocessor is None and preprocessor is None:
             raise AthenaError("online validation needs a fitted preprocessor")
@@ -153,13 +197,24 @@ class AthenaNorthbound:
     # -- 7. Reactor(q, r) -----------------------------------------------------------------
 
     def reactor(self, query: Optional[Query], reaction: Reaction) -> int:
-        """Enforce a mitigation action on the data plane."""
+        """``Reactor(q, r)`` — enforce a mitigation on the data plane.
+
+        Table II, row 7.  ``r`` is the :class:`Reaction` (Table III) —
+        Block or Quarantine — enforced through the owning instance's
+        Attack Reactor as flow rules; ``q`` scopes which hosts/switches
+        the reaction applies to.  Returns the number of rules issued.
+        """
         return self.reactions.enforce(reaction, query=query)
 
     # -- 8. ShowResults(r') ------------------------------------------------------------------
 
     def show_results(self, results: Any) -> str:
-        """Display results through the UI manager."""
+        """``ShowResults(r')`` — render results to the operator.
+
+        Table II, row 8.  ``r'`` is any result object (a Figure 6
+        :class:`ValidationSummary`, a Figure 9 series, an alert) handed to
+        the UI Manager for terminal rendering; returns the rendered text.
+        """
         return self.ui.show(results)
 
     # Paper-style aliases, so application code reads like the pseudocode.

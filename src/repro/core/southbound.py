@@ -26,7 +26,6 @@ from repro.controller.instance import ControllerInstance
 from repro.core.generator import FeatureGenerator
 from repro.errors import ReactionError
 from repro.ml.base import Estimator
-from repro.ml.kmeans import KMeans
 from repro.openflow.actions import ActionDrop, ActionOutput, ActionSetIpDst
 from repro.openflow.match import Match
 from repro.openflow.messages import (
@@ -97,17 +96,26 @@ class AthenaProxy:
 
 
 class AttackDetector:
-    """Job execution: single-instance for small data, distributed otherwise."""
+    """Job execution: single-instance for small data, distributed otherwise.
+
+    ``backend`` is this detector's default execution backend for
+    distributed jobs (``None`` defers to the compute cluster's own
+    default); every job method also accepts a per-task override, which is
+    what the northbound API's per-detection-task backend selection
+    resolves to.
+    """
 
     def __init__(
         self,
         compute: Optional[ComputeCluster] = None,
         distributed_threshold: int = 50_000,
         partitions_per_worker: int = 2,
+        backend=None,
     ) -> None:
         self.compute = compute
         self.distributed_threshold = distributed_threshold
         self.partitions_per_worker = partitions_per_worker
+        self.backend = backend
         self.jobs_local = 0
         self.jobs_distributed = 0
 
@@ -117,17 +125,33 @@ class AttackDetector:
     def _partitions(self) -> int:
         return max(1, self.compute.n_workers * self.partitions_per_worker)
 
+    def _backend(self, backend):
+        return backend if backend is not None else self.backend
+
     def run_training(
         self,
         estimator: Estimator,
         matrix: np.ndarray,
         labels: Optional[np.ndarray],
         algorithm,
+        backend=None,
     ):
-        """Fit ``estimator``; returns a JobReport when run distributed."""
-        if self._should_distribute(matrix.shape[0]) and isinstance(estimator, KMeans):
-            dataset = PartitionedDataset.from_matrix(matrix, self._partitions())
-            estimator.fit_distributed(self.compute, dataset)
+        """Fit ``estimator``; returns a JobReport when run distributed.
+
+        Any estimator exposing ``fit_distributed(compute, dataset,
+        backend=...)`` (K-Means, Gaussian naive Bayes) trains on the
+        compute cluster once the dataset crosses the distribution
+        threshold; everything else fits in-process.
+        """
+        if self._should_distribute(matrix.shape[0]) and hasattr(
+            estimator, "fit_distributed"
+        ):
+            dataset = PartitionedDataset.from_matrix(
+                matrix, self._partitions(), labels=labels
+            )
+            estimator.fit_distributed(
+                self.compute, dataset, backend=self._backend(backend)
+            )
             self.jobs_distributed += 1
             return estimator.last_job_report
         estimator.fit(matrix, labels)
@@ -135,7 +159,7 @@ class AttackDetector:
         return None
 
     def run_validation(
-        self, estimator: Estimator, matrix: np.ndarray
+        self, estimator: Estimator, matrix: np.ndarray, backend=None
     ) -> Tuple[np.ndarray, object]:
         """Predict over ``matrix``; distributed when the dataset is large."""
         if not self._should_distribute(matrix.shape[0]):
@@ -146,6 +170,7 @@ class AttackDetector:
             dataset,
             map_fn=estimator.predict,
             reduce_fn=lambda partials: np.concatenate(partials),
+            backend=self._backend(backend),
         )
         self.jobs_distributed += 1
         return report.result, report

@@ -58,6 +58,17 @@ def partial_sums(
     return sums, counts, inertia
 
 
+def _kmeans_partial_sums(part, centers):
+    """The distributed map task: per-partition K-Means statistics.
+
+    Module-level (not a closure) so the process execution backend can
+    ship it to pool workers; labelled partitions carry ``(rows, labels)``
+    tuples whose labels the unsupervised map ignores.
+    """
+    rows = part[0] if isinstance(part, tuple) else part
+    return partial_sums(as_matrix(rows), centers)
+
+
 class KMeans(ClusteringModel):
     """Lloyd's algorithm with k-means++ seeding and multi-run selection."""
 
@@ -114,11 +125,15 @@ class KMeans(ClusteringModel):
         self.centers, self.inertia, self.iterations_run = best
         return self
 
-    def fit_distributed(self, compute_cluster, dataset) -> "KMeans":
+    def fit_distributed(self, compute_cluster, dataset, backend=None) -> "KMeans":
         """Fit via per-partition map/reduce on a compute cluster.
 
-        Each round maps :func:`partial_sums` over partitions; the driver
-        merges sums/counts into new centers — the MLlib decomposition.
+        Each round maps :func:`_kmeans_partial_sums` over partitions; the
+        driver merges sums/counts into new centers — the MLlib
+        decomposition.  ``backend`` picks the cluster's execution backend
+        for this job (``"serial"``/``"process"``); results are
+        bit-identical across backends because initialisation happens on
+        the driver and the reduce folds partials in partition order.
         """
         first = dataset.partition(0)
         sample = first[0] if isinstance(first, tuple) else first
@@ -126,10 +141,6 @@ class KMeans(ClusteringModel):
         rng = np.random.default_rng(self.seed)
         k = min(self.k, sample.shape[0])
         initial = _kmeanspp_init(sample, k, rng)
-
-        def map_fn(part, centers):
-            rows = part[0] if isinstance(part, tuple) else part
-            return partial_sums(as_matrix(rows), centers)
 
         def reduce_fn(partials, centers):
             sums = sum(p[0] for p in partials)
@@ -146,11 +157,12 @@ class KMeans(ClusteringModel):
 
         report = compute_cluster.run_iterative(
             dataset,
-            map_fn,
+            _kmeans_partial_sums,
             reduce_fn,
             initial_state=initial,
             rounds=self.max_iterations,
             converged=converged,
+            backend=backend,
         )
         self.centers = report.result
         self.iterations_run = report.rounds

@@ -193,3 +193,60 @@ class TestTaskRetries:
         report = cluster.run_map(ds, map_fn=slow_flaky, reduce_fn=sum)
         # Two attempts' time is recorded across the workers.
         assert sum(report.per_worker_busy) >= 0.02
+
+
+class TestMakespanModel:
+    """Assert the modeled makespan term by term (cluster.py's formula).
+
+    makespan = t_setup + rounds * t_broadcast
+             + sum over rounds of max_over_workers(round_busy) * work_scale
+             + t_collect * n_tasks + measured_reduce_seconds
+    """
+
+    def test_formula_matches_report_terms(self):
+        config = ClusterConfig(
+            t_setup=1.5, t_broadcast=0.25, t_collect=0.05, work_scale=3.0
+        )
+        cluster = ComputeCluster(n_workers=3, config=config)
+        matrix = np.arange(600.0).reshape(100, 6)
+        ds = PartitionedDataset.from_matrix(matrix, 5)
+        report = cluster.run_iterative(
+            ds,
+            lambda part, state: part.sum() + state,
+            lambda partials, state: state + 1,
+            initial_state=0,
+            rounds=4,
+        )
+        assert report.rounds == 4
+        assert len(report.per_round_busy) == 4
+        assert all(len(busy) == 3 for busy in report.per_round_busy)
+        expected = (
+            config.t_setup
+            + report.rounds * config.t_broadcast
+            + sum(max(busy) for busy in report.per_round_busy)
+            * config.work_scale
+            + config.t_collect * report.n_tasks
+            + report.measured_reduce_seconds
+        )
+        assert report.makespan_seconds == pytest.approx(expected)
+
+    def test_parallel_term_is_per_round_critical_path(self):
+        # The parallel term must be the per-round max summed over rounds,
+        # not the busiest worker's total across the whole job: with more
+        # workers the per-round max shrinks, so the makespan must too.
+        config = ClusterConfig(t_setup=0.0, t_broadcast=0.0, t_collect=0.0,
+                               work_scale=50.0)
+        matrix = np.arange(12_000.0).reshape(2_000, 6)
+
+        def makespan(n_workers):
+            cluster = ComputeCluster(n_workers=n_workers, config=config)
+            ds = PartitionedDataset.from_matrix(matrix, 8)
+            return cluster.run_iterative(
+                ds,
+                lambda part, state: float((part ** 2).sum()),
+                lambda partials, state: state,
+                initial_state=None,
+                rounds=3,
+            ).makespan_seconds
+
+        assert makespan(4) < makespan(1)
