@@ -55,6 +55,17 @@ def test_table9_cbench(benchmark, harness, results, recorder):
         iterations=1,
     )
     averages = {mode: statistics.mean(rates) for mode, rates in results.items()}
+    # Cross-check against the harness's own telemetry: every response any
+    # round counted is also in athena_cbench_responses_total, so the
+    # registry must report at least as many as the measured rounds saw.
+    counted = {
+        (sample.get("labels") or {}).get("mode"): sample["value"]
+        for metric in harness.snapshot()
+        if metric["name"] == "athena_cbench_responses_total"
+        for sample in metric["samples"]
+    }
+    for mode, rates in results.items():
+        assert counted.get(mode, 0) >= sum(rates) * ROUND_SECONDS * 0.99
     for mode in ("without", "with", "with_no_db"):
         rates = results[mode]
         overhead = 1.0 - averages[mode] / averages["without"]

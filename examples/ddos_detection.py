@@ -8,16 +8,24 @@ ValidateFeatures — and prints the Figure 6 testing summary.  A second pass
 shows how the same five NB calls switch the detector to logistic
 regression, and a third blocks the flagged sources.
 
+With ``ATHENA_TELEMETRY=1`` the run also drives live southbound traffic
+and dumps the full telemetry snapshot as JSON (to the path named by
+``ATHENA_TELEMETRY_SNAPSHOT``, default ``athena_metrics.json``), which
+``python -m repro.cli metrics --snapshot <path>`` renders.
+
 Run:  python examples/ddos_detection.py [scale]
 """
 
+import os
 import sys
 
 from repro.apps.ddos import DDoSDetectorApp, ddos_detector_application
-from repro.controller import ControllerCluster
+from repro.controller import ControllerCluster, ReactiveForwarding
 from repro.core import AthenaDeployment
 from repro.dataplane.topologies import enterprise_topology
+from repro.telemetry import get_telemetry, to_json
 from repro.workloads.ddos import DDoSDatasetGenerator, DDoSDatasetSpec
+from repro.workloads.flows import FlowSpec, TrafficSchedule
 
 
 def main() -> None:
@@ -35,6 +43,22 @@ def main() -> None:
     cluster.adopt_domains(topo.domains)
     athena = AthenaDeployment(cluster)
     athena.ui_manager.echo = True
+
+    telemetry = get_telemetry()
+    if telemetry.enabled:
+        # Drive live southbound traffic so the snapshot covers every
+        # layer, not just the batch ML path.
+        print("\ntelemetry on: driving live southbound traffic...")
+        cluster.start(poll=False)
+        ReactiveForwarding().activate(cluster)
+        athena.start()
+        schedule = TrafficSchedule(topo.network)
+        schedule.prime_arp()
+        schedule.add_flow(
+            FlowSpec(src_host="h1", dst_host="h8", rate_pps=20.0,
+                     start=0.5, duration=3.0, bidirectional=True)
+        )
+        topo.network.sim.run(until=5.0)
 
     # -- K-Means (the paper's configuration) ------------------------------
     print("\n=== K-Means (K=8, 20 iterations, 5 runs) ===")
@@ -64,6 +88,13 @@ def main() -> None:
     )
     print(f"DR {stored_summary.detection_rate:.5f} / "
           f"FAR {stored_summary.false_alarm_rate:.5f}")
+
+    if telemetry.enabled:
+        path = os.environ.get("ATHENA_TELEMETRY_SNAPSHOT",
+                              "athena_metrics.json")
+        with open(path, "w") as handle:
+            handle.write(to_json(telemetry.snapshot()))
+        print(f"\ntelemetry snapshot written to {path}")
 
 
 if __name__ == "__main__":

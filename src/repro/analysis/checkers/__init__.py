@@ -8,6 +8,7 @@ from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.features import FeatureNameChecker
 from repro.analysis.checkers.northbound import NorthboundChecker
 from repro.analysis.checkers.openflow_codec import OpenFlowCodecChecker
+from repro.analysis.checkers.telemetry import TelemetryChecker
 from repro.analysis.engine import Checker
 
 __all__ = [
@@ -15,6 +16,7 @@ __all__ = [
     "FeatureNameChecker",
     "NorthboundChecker",
     "OpenFlowCodecChecker",
+    "TelemetryChecker",
     "default_checkers",
 ]
 
@@ -26,4 +28,5 @@ def default_checkers() -> List[Checker]:
         FeatureNameChecker(),
         NorthboundChecker(),
         OpenFlowCodecChecker(),
+        TelemetryChecker(),
     ]

@@ -24,7 +24,6 @@ Athena's is compared with (the ≤10% overhead claim).
 from __future__ import annotations
 
 import inspect
-import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -33,6 +32,7 @@ import numpy as np
 from repro.compute import ComputeCluster, PartitionedDataset
 from repro.distdb import DatabaseCluster
 from repro.errors import ReproError
+from repro.telemetry.clocks import Stopwatch
 
 
 class RawJobError(ReproError):
@@ -377,7 +377,7 @@ class RawDDoSKMeansJob:
         """Distributed prediction plus manual confusion computation."""
         if self.centers is None or self._minima is None:
             raise RawJobError("train before validate")
-        started = time.perf_counter()
+        watch = Stopwatch()
         if documents is None:
             documents = fetch_documents(
                 self.database, self.collection, "flow", start, end
@@ -408,7 +408,7 @@ class RawDDoSKMeansJob:
             false_positives=int(((labels == 0) & (predictions == 1)).sum()),
             true_negatives=int(((labels == 0) & (predictions == 0)).sum()),
             false_negatives=int(((labels == 1) & (predictions == 0)).sum()),
-            elapsed_seconds=time.perf_counter() - started,
+            elapsed_seconds=watch.elapsed(),
             makespan_seconds=job.makespan_seconds,
         )
         self.validate_job_report = job
@@ -533,7 +533,7 @@ class RawDDoSLogisticJob:
     ) -> RawValidationReport:
         if self.beta is None:
             raise RawJobError("train before validate")
-        started = time.perf_counter()
+        watch = Stopwatch()
         if documents is None:
             documents = fetch_documents(
                 self.database, self.collection, "flow", start, end
@@ -559,7 +559,7 @@ class RawDDoSLogisticJob:
             false_positives=int(((labels == 0) & (predictions == 1)).sum()),
             true_negatives=int(((labels == 0) & (predictions == 0)).sum()),
             false_negatives=int(((labels == 1) & (predictions == 0)).sum()),
-            elapsed_seconds=time.perf_counter() - started,
+            elapsed_seconds=watch.elapsed(),
             makespan_seconds=job.makespan_seconds,
         )
 

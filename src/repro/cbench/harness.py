@@ -20,9 +20,8 @@ utilisation (capped at saturation), with and without Athena.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.controller.cluster import ControllerCluster
 from repro.controller.events import PacketInEvent
@@ -33,6 +32,8 @@ from repro.openflow.actions import ActionOutput
 from repro.openflow.constants import FlowModCommand
 from repro.openflow.match import Match
 from repro.openflow.messages import FlowMod, PacketIn
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.clocks import Stopwatch, cpu_now
 from repro.types import mac_from_int
 
 
@@ -94,6 +95,35 @@ class CbenchHarness:
         #: 'mongo' = the document store the paper used; 'cassandra' = the
         #: write-optimised column store Section VII-C proposes.
         self.db_backend = db_backend
+        #: Measurement registry — always enabled and private to the
+        #: harness, so bench numbers are read from the same metric
+        #: primitives the runtime exposes (one code path for benches
+        #: and ``athena metrics``), independent of ATHENA_TELEMETRY.
+        self.metrics = MetricsRegistry(enabled=True)
+        self._metric_responses = self.metrics.counter(
+            "athena_cbench_responses_total",
+            "Flow-install responses counted across throughput rounds.",
+            labelnames=("mode",),
+        )
+        self._metric_round_seconds = self.metrics.gauge(
+            "athena_cbench_round_seconds",
+            "Wall seconds of the most recent throughput round.",
+            labelnames=("mode",),
+        )
+        self._metric_event_cpu = self.metrics.histogram(
+            "athena_cbench_event_cpu_seconds",
+            "Mean CPU seconds per flow event, one observation per "
+            "measurement run.",
+            labelnames=("mode",),
+        )
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """The harness's metric state (what the benches read)."""
+        return self.metrics.snapshot()
+
+    def event_cost_mean(self, mode: str) -> float:
+        """Mean of every per-event CPU cost measured for ``mode``."""
+        return self._metric_event_cpu.labels(mode=mode).mean
 
     def _make_database(self):
         if self.db_backend == "cassandra":
@@ -158,16 +188,25 @@ class CbenchHarness:
             )
         responder.responses = 0
         sequence = self.match_pool
-        started = time.perf_counter()
-        deadline = started + duration_seconds
-        while time.perf_counter() < deadline:
+        response_counter = self._metric_responses.labels(mode=mode)
+        responses_before = response_counter.value
+        watch = Stopwatch()
+        while watch.elapsed() < duration_seconds:
             for _ in range(batch):
                 instance._on_switch_message(
                     self._packet_in(switches[sequence % len(switches)], sequence)
                 )
                 sequence += 1
-        elapsed = time.perf_counter() - started
-        return CbenchResult(mode=mode, responses=responder.responses, elapsed_seconds=elapsed)
+        elapsed = watch.elapsed()
+        response_counter.inc(responder.responses)
+        self._metric_round_seconds.labels(mode=mode).set(elapsed)
+        # The result is derived from the registry, not the raw counter on
+        # the responder — benches and runtime metrics share one source.
+        return CbenchResult(
+            mode=mode,
+            responses=int(response_counter.value - responses_before),
+            elapsed_seconds=elapsed,
+        )
 
     def run_rounds(
         self,
@@ -192,12 +231,14 @@ class CbenchHarness:
             instance._on_switch_message(
                 self._packet_in(switches[sequence % len(switches)], sequence)
             )
-        started = time.process_time()
+        started = cpu_now()
         for sequence in range(self.match_pool, self.match_pool + n_events):
             instance._on_switch_message(
                 self._packet_in(switches[sequence % len(switches)], sequence)
             )
-        return (time.process_time() - started) / n_events
+        per_event = (cpu_now() - started) / n_events
+        self._metric_event_cpu.labels(mode=mode).observe(per_event)
+        return per_event
 
 
 def cpu_usage_curve(

@@ -103,6 +103,96 @@ def _cmd_cbench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import telemetry
+
+    if args.snapshot:
+        with open(args.snapshot) as handle:
+            snapshot = json.load(handle)
+        _render_metrics(args, snapshot)
+        return 0
+
+    # Live mini-scenario: enable telemetry *before* building anything so
+    # every component binds real instruments, then exercise each layer —
+    # southbound traffic, feature extraction, database writes, a
+    # distributed training job, and a mitigation.
+    tel = telemetry.configure(enabled=True)
+
+    from repro.compute import ComputeCluster
+    from repro.controller import ControllerCluster, ReactiveForwarding
+    from repro.core import AthenaDeployment, BlockReaction, GenerateQuery
+    from repro.core.algorithm import GenerateAlgorithm
+    from repro.core.preprocessor import GeneratePreprocessor
+    from repro.dataplane.topologies import linear_topology
+    from repro.workloads.ddos import DDoSDatasetGenerator, DDoSDatasetSpec
+    from repro.workloads.flows import FlowSpec, TrafficSchedule
+
+    topo = linear_topology(n_switches=3, hosts_per_switch=2)
+    cluster = ControllerCluster(topo.network, n_instances=1)
+    cluster.adopt_all()
+    cluster.start(poll=False)
+    forwarding = ReactiveForwarding()
+    forwarding.activate(cluster)
+    athena = AthenaDeployment(
+        cluster,
+        compute=ComputeCluster(n_workers=2),
+        athena_poll_interval=1.0,
+        distributed_threshold=200,
+    )
+    athena.start()
+    schedule = TrafficSchedule(topo.network)
+    schedule.prime_arp()
+    schedule.add_flow(
+        FlowSpec(src_host="h1", dst_host="h5", rate_pps=20.0,
+                 start=0.5, duration=3.0, bidirectional=True)
+    )
+    topo.network.sim.run(until=5.0)
+
+    documents = DDoSDatasetGenerator(
+        DDoSDatasetSpec(scale=args.scale)
+    ).generate()
+    preprocessor = GeneratePreprocessor(
+        normalization="minmax",
+        marking="label",
+        features=[
+            "FLOW_PACKET_COUNT",
+            "FLOW_BYTE_PER_PACKET",
+            "FLOW_PACKET_PER_DURATION",
+            "PAIR_FLOW",
+        ],
+    )
+    model = athena.detector_manager.generate_detection_model(
+        GenerateQuery(),
+        preprocessor,
+        GenerateAlgorithm("kmeans", k=4, max_iterations=10, runs=1, seed=1),
+        documents=documents,
+    )
+    athena.detector_manager.validate_features(
+        GenerateQuery(), preprocessor, model, documents=documents
+    )
+    athena.northbound.reactor(
+        None, BlockReaction(target_ips=[topo.network.hosts["h2"].ip])
+    )
+    _render_metrics(args, tel.snapshot(deterministic_only=args.deterministic))
+    return 0
+
+
+def _render_metrics(args: argparse.Namespace, snapshot) -> int:
+    from repro import telemetry
+
+    if args.json:
+        print(telemetry.to_json(snapshot))
+    elif args.table:
+        from repro.core.ui_manager import UIManager
+
+        print(UIManager().show_metrics(snapshot))
+    else:
+        print(telemetry.to_prometheus_text(snapshot), end="")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import (
         JsonReporter,
@@ -168,6 +258,23 @@ def build_parser() -> argparse.ArgumentParser:
     cbench.add_argument("--backend", choices=["mongo", "cassandra"],
                         default="mongo")
     cbench.set_defaults(handler=_cmd_cbench)
+
+    metrics = commands.add_parser(
+        "metrics", help="run a live scenario and expose its telemetry"
+    )
+    metrics.add_argument("--json", action="store_true",
+                         help="emit the JSON snapshot instead of "
+                              "Prometheus text")
+    metrics.add_argument("--table", action="store_true",
+                         help="emit the UI Manager summary table")
+    metrics.add_argument("--snapshot", default=None,
+                         help="render a previously dumped JSON snapshot "
+                              "instead of running the live scenario")
+    metrics.add_argument("--scale", type=float, default=0.0005,
+                         help="DDoS dataset scale for the live scenario")
+    metrics.add_argument("--deterministic", action="store_true",
+                         help="drop wall-time metrics from the snapshot")
+    metrics.set_defaults(handler=_cmd_metrics)
 
     lint = commands.add_parser(
         "lint", help="athena-lint: framework-aware static analysis"

@@ -34,7 +34,6 @@ Figure 10 bench.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence
 
@@ -42,6 +41,7 @@ from repro.compute.backends import ExecutionBackend, create_backend, lpt_assignm
 from repro.compute.partition import PartitionedDataset
 from repro.compute.worker import Worker
 from repro.errors import ComputeError
+from repro.telemetry import Stopwatch, get_telemetry
 
 
 @dataclass
@@ -119,6 +119,46 @@ class ComputeCluster:
         self.jobs_run = 0
         self.tasks_retried = 0
         self.tasks_fallback = 0
+        # Telemetry: JobReport fields fold into these after every job.
+        registry = get_telemetry().registry
+        self._metric_jobs = registry.counter(
+            "athena_compute_jobs_total",
+            "Compute jobs run, by execution backend.",
+            labelnames=("backend",),
+        )
+        self._metric_tasks = registry.counter(
+            "athena_compute_tasks_total",
+            "Tasks dispatched across all compute jobs.",
+        )
+        self._metric_retried = registry.counter(
+            "athena_compute_tasks_retried_total",
+            "Failed task attempts that were retried.",
+        )
+        self._metric_fallback = registry.counter(
+            "athena_compute_fallback_tasks_total",
+            "Tasks that fell back to in-process execution.",
+        )
+        self._metric_shuffle_bytes = registry.counter(
+            "athena_compute_shuffle_bytes_total",
+            "Bytes moved across process boundaries.",
+        )
+        self._metric_job_wall = registry.histogram(
+            "athena_compute_job_wall_seconds",
+            "Real elapsed seconds per compute job.",
+            labelnames=("backend",),
+        )
+
+    def _record_job(self, report: "JobReport") -> "JobReport":
+        """Fold one job's report into the cluster's telemetry."""
+        self._metric_jobs.labels(backend=report.backend).inc()
+        self._metric_tasks.inc(report.n_tasks)
+        self._metric_retried.inc(report.tasks_retried)
+        self._metric_fallback.inc(report.fallback_tasks)
+        self._metric_shuffle_bytes.inc(report.bytes_shuffled)
+        self._metric_job_wall.labels(backend=report.backend).observe(
+            report.wall_seconds
+        )
+        return report
 
     @property
     def n_workers(self) -> int:
@@ -179,7 +219,7 @@ class ComputeCluster:
             worker.reset()
         self.jobs_run += 1
         engine = self._backend_for(backend)
-        wall_started = time.perf_counter()
+        wall_watch = Stopwatch()
         state = initial_state
         total_task_seconds = 0.0
         total_reduce_seconds = 0.0
@@ -200,9 +240,9 @@ class ComputeCluster:
                 job_retried += stats.retried
                 job_fallback += stats.fallback_tasks
                 n_tasks += len(stats.results)
-                reduce_started = time.perf_counter()
+                reduce_watch = Stopwatch()
                 new_state = reduce_fn(stats.results, state)
-                total_reduce_seconds += time.perf_counter() - reduce_started
+                total_reduce_seconds += reduce_watch.elapsed()
                 if converged is not None and converged(state, new_state):
                     state = new_state
                     break
@@ -224,14 +264,14 @@ class ComputeCluster:
             + cfg.t_collect * n_tasks
             + total_reduce_seconds
         )
-        return JobReport(
+        return self._record_job(JobReport(
             n_workers=self.n_workers,
             n_tasks=n_tasks,
             rounds=rounds_run,
             measured_task_seconds=total_task_seconds,
             measured_reduce_seconds=total_reduce_seconds,
             makespan_seconds=makespan,
-            wall_seconds=time.perf_counter() - wall_started,
+            wall_seconds=wall_watch.elapsed(),
             backend=engine.name,
             bytes_shuffled=bytes_shuffled,
             tasks_retried=job_retried,
@@ -239,7 +279,7 @@ class ComputeCluster:
             per_worker_busy=[w.busy_seconds for w in self.workers],
             per_round_busy=per_round_busy,
             result=state,
-        )
+        ))
 
     def run_local(
         self,
@@ -253,12 +293,12 @@ class ComputeCluster:
         paper notes handling the request on a single instance avoids the
         communication overhead.
         """
-        started = time.perf_counter()
+        watch = Stopwatch()
         partials = [map_fn(part) for part in dataset.partitions]
         result = reduce_fn(partials) if reduce_fn else partials
-        elapsed = time.perf_counter() - started
+        elapsed = watch.elapsed()
         self.jobs_run += 1
-        return JobReport(
+        return self._record_job(JobReport(
             n_workers=1,
             n_tasks=dataset.n_partitions,
             rounds=1,
@@ -269,7 +309,7 @@ class ComputeCluster:
             backend="local",
             per_worker_busy=[elapsed],
             result=result,
-        )
+        ))
 
 
 class _StatelessTask:

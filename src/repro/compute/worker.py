@@ -19,10 +19,10 @@ Two kinds of worker live here:
 from __future__ import annotations
 
 import os
-import time
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.errors import ComputeError
+from repro.telemetry.clocks import Stopwatch
 
 
 class Worker:
@@ -39,13 +39,12 @@ class Worker:
         Failed tasks still consume the worker's time (accounted in
         ``busy_seconds``) before the exception propagates to the scheduler.
         """
-        started = time.perf_counter()
+        watch = Stopwatch()
         try:
             result = fn(payload)
         finally:
-            elapsed = time.perf_counter() - started
-            self.busy_seconds += elapsed
-            self.tasks_run += 1
+            elapsed = watch.elapsed()
+            self.credit(elapsed)
         return result, elapsed
 
     def credit(self, elapsed: float) -> None:
@@ -105,8 +104,9 @@ def execute_task_chunk(
             "did not run (or the job was already closed)"
         )
     results: List[Tuple[int, Any, float]] = []
+    watch = Stopwatch()
     for index in indices:
-        started = time.perf_counter()
+        watch.restart()
         result = map_fn(partitions[index], state)
-        results.append((index, result, time.perf_counter() - started))
+        results.append((index, result, watch.elapsed()))
     return os.getpid(), results

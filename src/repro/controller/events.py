@@ -86,17 +86,31 @@ class EventBus:
         self._listeners: DefaultDict[type, List[Callable]] = defaultdict(list)
 
     def subscribe(self, event_type: Type[ControllerEvent], listener: Callable) -> None:
-        self._listeners[event_type].append(listener)
+        # Idempotent: subscribing the same listener twice (e.g. both a
+        # controller instance and an app wiring up the same handler) must
+        # not double its deliveries.
+        listeners = self._listeners[event_type]
+        if listener not in listeners:
+            listeners.append(listener)
 
     def unsubscribe(self, event_type: Type[ControllerEvent], listener: Callable) -> None:
         if listener in self._listeners.get(event_type, []):
             self._listeners[event_type].remove(listener)
 
     def publish(self, event: ControllerEvent) -> None:
+        # Walk the event's class hierarchy so base-type subscriptions see
+        # derived events, but deliver to each listener at most once even
+        # if it subscribed at several levels (concrete + base type).
+        # Equality, not identity: bound methods are re-created per access,
+        # so ``instance.handler`` subscribed twice compares == but not is.
+        delivered = []
         for event_type in type(event).__mro__:
             if event_type is object:
                 break
             for listener in list(self._listeners.get(event_type, [])):
+                if listener in delivered:
+                    continue
+                delivered.append(listener)
                 listener(event)
 
     def listener_count(self, event_type: Type[ControllerEvent]) -> int:

@@ -35,6 +35,7 @@ from repro.openflow.messages import (
     StatsReply,
 )
 from repro.simkernel import Simulator
+from repro.telemetry import get_telemetry
 from repro.types import Dpid
 
 MessageTap = Callable[[OpenFlowMessage, MessageDirection, int], None]
@@ -59,6 +60,29 @@ class ControllerInstance:
         self.messages_from_switches = 0
         self.messages_to_switches = 0
         self.packet_ins_handled = 0
+        # Telemetry: instruments are bound once here; when telemetry is
+        # disabled these are shared null objects and the dispatch loop
+        # pays only a no-op method call per message.
+        registry = get_telemetry().registry
+        messages = registry.counter(
+            "athena_southbound_messages_total",
+            "OpenFlow messages crossing the controller, by direction.",
+            labelnames=("direction",),
+        )
+        self._metric_from_switch = messages.labels(direction="from_switch")
+        self._metric_to_switch = messages.labels(direction="to_switch")
+        self._metric_packet_in = registry.counter(
+            "athena_southbound_packet_in_total",
+            "PacketIn messages dispatched onto the event bus.",
+        )
+        self._metric_flow_removed = registry.counter(
+            "athena_southbound_flow_removed_total",
+            "FlowRemoved messages dispatched onto the event bus.",
+        )
+        self._metric_stats_replies = registry.counter(
+            "athena_southbound_stats_replies_total",
+            "StatsReply messages dispatched onto the event bus.",
+        )
 
     # -- wiring ------------------------------------------------------------
 
@@ -97,6 +121,7 @@ class ControllerInstance:
             )
         msg.dpid = dpid
         self.messages_to_switches += 1
+        self._metric_to_switch.inc()
         for tap in self._taps:
             tap(msg, MessageDirection.TO_SWITCH, self.instance_id)
         switch.handle_message(msg, self.sim.now)
@@ -108,11 +133,13 @@ class ControllerInstance:
     def _on_switch_message(self, msg: OpenFlowMessage) -> None:
         """Switch → controller delivery: tap, then dispatch as events."""
         self.messages_from_switches += 1
+        self._metric_from_switch.inc()
         for tap in self._taps:
             tap(msg, MessageDirection.FROM_SWITCH, self.instance_id)
         now = self.sim.now
         if isinstance(msg, PacketIn):
             self.packet_ins_handled += 1
+            self._metric_packet_in.inc()
             self.bus.publish(
                 PacketInEvent(
                     instance_id=self.instance_id,
@@ -122,6 +149,7 @@ class ControllerInstance:
                 )
             )
         elif isinstance(msg, FlowRemoved):
+            self._metric_flow_removed.inc()
             self.bus.publish(
                 FlowRemovedEvent(
                     instance_id=self.instance_id,
@@ -140,6 +168,7 @@ class ControllerInstance:
                 )
             )
         elif isinstance(msg, StatsReply):
+            self._metric_stats_replies.inc()
             issuer = self.poller.issuer_of(msg.xid)
             self.bus.publish(
                 StatsEvent(

@@ -28,6 +28,7 @@ from repro.core.southbound import SouthboundElement
 from repro.core.ui_manager import UIManager
 from repro.distdb import DatabaseCluster
 from repro.errors import AthenaError
+from repro.telemetry import get_telemetry
 
 
 class AthenaInstance:
@@ -93,6 +94,9 @@ class AthenaDeployment:
         self.cluster = cluster
         self.database = database or DatabaseCluster(n_shards=3)
         self.compute = compute or ComputeCluster(n_workers=4)
+        # Spans record deterministic sim-clock durations alongside wall time.
+        sim = cluster.network.sim
+        get_telemetry().set_sim_time_source(lambda: sim.now)
         self.feature_manager = FeatureManager(
             self.database, store_features=store_features
         )

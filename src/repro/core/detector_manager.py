@@ -14,7 +14,6 @@ execution by dataset size); results come back as
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
@@ -27,6 +26,7 @@ from repro.core.query import Query
 from repro.core.results import ClusterReport, ValidationSummary
 from repro.errors import AthenaError
 from repro.ml.base import ClusteringModel, Estimator
+from repro.telemetry import Stopwatch, get_telemetry
 
 Document = Dict[str, Any]
 
@@ -74,6 +74,24 @@ class DetectorManager:
         #: JobReport of the most recent distributed validation (None when
         #: the last validation ran on a single instance).
         self.last_job_report = None
+        self._telemetry = get_telemetry()
+        registry = self._telemetry.registry
+        self._metric_models = registry.counter(
+            "athena_detector_models_total",
+            "Detection models generated.",
+        )
+        self._metric_validations = registry.counter(
+            "athena_detector_validations_total",
+            "Batch validations run.",
+        )
+        self._metric_training_seconds = registry.histogram(
+            "athena_detector_training_seconds",
+            "Wall seconds per model generation.",
+        )
+        self._metric_validation_seconds = registry.histogram(
+            "athena_detector_validation_seconds",
+            "Wall seconds per batch validation.",
+        )
 
     # -- model generation ------------------------------------------------------
 
@@ -93,45 +111,49 @@ class DetectorManager:
         detection task's distributed training job (``"serial"`` /
         ``"process"``; ``None`` keeps the cluster default).
         """
-        started = time.perf_counter()
-        if documents is None:
-            documents = self.feature_manager.request_features(query)
-        if not documents:
-            raise AthenaError("no features matched the training query")
-        matrix, marks, _docs = preprocessor.fit_transform(documents)
-        estimator = algorithm.instantiate()
-        job_report = None
-        if not algorithm.has_learning_phase:
-            # Simple algorithms export a pre-defined model (threshold may
-            # still calibrate a bound when none was configured).
-            estimator.fit(matrix, marks)
-        elif algorithm.needs_labels:
-            if marks is None:
-                raise AthenaError(
-                    f"{algorithm.name} needs labels; configure Marking in the preprocessor"
-                )
-            job_report = self.attack_detector.run_training(
-                estimator, matrix, marks, algorithm, backend=backend
-            )
-        else:
-            job_report = self.attack_detector.run_training(
-                estimator, matrix, None, algorithm, backend=backend
-            )
-            if algorithm.needs_marks:
+        watch = Stopwatch()
+        with self._telemetry.span("detector.generate_model"):
+            if documents is None:
+                documents = self.feature_manager.request_features(query)
+            if not documents:
+                raise AthenaError("no features matched the training query")
+            matrix, marks, _docs = preprocessor.fit_transform(documents)
+            estimator = algorithm.instantiate()
+            job_report = None
+            if not algorithm.has_learning_phase:
+                # Simple algorithms export a pre-defined model (threshold may
+                # still calibrate a bound when none was configured).
+                estimator.fit(matrix, marks)
+            elif algorithm.needs_labels:
                 if marks is None:
                     raise AthenaError(
-                        f"{algorithm.name} needs Marking to label clusters"
+                        f"{algorithm.name} needs labels; configure Marking in the preprocessor"
                     )
-                estimator.label_clusters(matrix, marks)
-        self.models_generated += 1
-        return DetectionModel(
-            algorithm=algorithm,
-            estimator=estimator,
-            preprocessor=preprocessor,
-            trained_entries=matrix.shape[0],
-            training_seconds=time.perf_counter() - started,
-            job_report=job_report,
-        )
+                job_report = self.attack_detector.run_training(
+                    estimator, matrix, marks, algorithm, backend=backend
+                )
+            else:
+                job_report = self.attack_detector.run_training(
+                    estimator, matrix, None, algorithm, backend=backend
+                )
+                if algorithm.needs_marks:
+                    if marks is None:
+                        raise AthenaError(
+                            f"{algorithm.name} needs Marking to label clusters"
+                        )
+                    estimator.label_clusters(matrix, marks)
+            self.models_generated += 1
+            self._metric_models.inc()
+            elapsed = watch.elapsed()
+            self._metric_training_seconds.observe(elapsed)
+            return DetectionModel(
+                algorithm=algorithm,
+                estimator=estimator,
+                preprocessor=preprocessor,
+                trained_entries=matrix.shape[0],
+                training_seconds=elapsed,
+                job_report=job_report,
+            )
 
     # -- batch validation ------------------------------------------------------
 
@@ -149,29 +171,32 @@ class DetectorManager:
         validation task when it runs distributed (``None`` = cluster
         default).
         """
-        started = time.perf_counter()
-        if documents is None:
-            documents = self.feature_manager.request_features(query)
-        if not documents:
-            raise AthenaError("no features matched the validation query")
-        # The model's *fitted* preprocessor guarantees train/test consistency;
-        # the passed preprocessor contributes marking if the fitted one lacks it.
-        active = model.preprocessor
-        if active.marking is None and preprocessor is not None:
-            active.marking = preprocessor.marking
-        matrix, marks, docs = active.transform(documents)
-        predictions, job_report = self.attack_detector.run_validation(
-            model.estimator, matrix, backend=backend
-        )
-        summary = self._summarise(model, matrix, marks, docs, predictions)
-        summary.elapsed_seconds = time.perf_counter() - started
-        if job_report is not None:
-            summary.elapsed_seconds = max(
-                summary.elapsed_seconds, job_report.makespan_seconds
+        watch = Stopwatch()
+        with self._telemetry.span("detector.validate"):
+            if documents is None:
+                documents = self.feature_manager.request_features(query)
+            if not documents:
+                raise AthenaError("no features matched the validation query")
+            # The model's *fitted* preprocessor guarantees train/test consistency;
+            # the passed preprocessor contributes marking if the fitted one lacks it.
+            active = model.preprocessor
+            if active.marking is None and preprocessor is not None:
+                active.marking = preprocessor.marking
+            matrix, marks, docs = active.transform(documents)
+            predictions, job_report = self.attack_detector.run_validation(
+                model.estimator, matrix, backend=backend
             )
-        self.validations_run += 1
-        self.last_job_report = job_report
-        return summary
+            summary = self._summarise(model, matrix, marks, docs, predictions)
+            summary.elapsed_seconds = watch.elapsed()
+            if job_report is not None:
+                summary.elapsed_seconds = max(
+                    summary.elapsed_seconds, job_report.makespan_seconds
+                )
+            self.validations_run += 1
+            self._metric_validations.inc()
+            self._metric_validation_seconds.observe(summary.elapsed_seconds)
+            self.last_job_report = job_report
+            return summary
 
     def _summarise(
         self,

@@ -23,6 +23,7 @@ from repro.core.features.catalog import FEATURE_CATALOG
 from repro.core.query import Query
 from repro.distdb import DatabaseCluster
 from repro.errors import AthenaError
+from repro.telemetry import get_telemetry
 
 FeatureHandler = Callable[[AthenaFeature], None]
 
@@ -54,6 +55,23 @@ class FeatureManager:
         self._entry_ids = itertools.count(1)
         self.features_published = 0
         self.features_delivered = 0
+        registry = get_telemetry().registry
+        self._metric_published = registry.counter(
+            "athena_feature_published_total",
+            "Features published into the feature manager.",
+        )
+        self._metric_delivered = registry.counter(
+            "athena_feature_delivered_total",
+            "Features delivered to event-table handlers.",
+        )
+        self._metric_requests = registry.counter(
+            "athena_feature_requests_total",
+            "RequestFeatures queries served.",
+        )
+        self._metric_request_seconds = registry.histogram(
+            "athena_feature_request_seconds",
+            "Wall seconds per RequestFeatures query.",
+        )
         self.database.create_index(FEATURE_COLLECTION, "switch_id")
         self.database.create_index(FEATURE_COLLECTION, "feature_scope")
         self.database.create_index(FEATURE_COLLECTION, "ip_src")
@@ -63,6 +81,7 @@ class FeatureManager:
     def publish(self, feature: AthenaFeature) -> None:
         """Store a feature and deliver it to matching handlers."""
         self.features_published += 1
+        self._metric_published.inc()
         doc = feature.to_document()
         if self.store_features:
             self.database.insert_one(FEATURE_COLLECTION, doc)
@@ -70,6 +89,7 @@ class FeatureManager:
             if entry.query.matches(doc):
                 entry.delivered += 1
                 self.features_delivered += 1
+                self._metric_delivered.inc()
                 entry.handler(feature)
 
     def publish_documents(self, docs: List[Dict[str, Any]]) -> int:
@@ -95,15 +115,17 @@ class FeatureManager:
     def request_features(self, query: Query) -> List[Dict[str, Any]]:
         """Retrieve stored features satisfying ``query`` (RequestFeatures)."""
         self.validate_query_features(query)
-        pipeline = query.to_db_pipeline()
-        if pipeline is not None:
-            return self.database.aggregate(FEATURE_COLLECTION, pipeline)
-        return self.database.find(
-            FEATURE_COLLECTION,
-            filter_=query.to_db_filter() or None,
-            sort=query.sort_spec or None,
-            limit=query.limit_value,
-        )
+        self._metric_requests.inc()
+        with self._metric_request_seconds.time():
+            pipeline = query.to_db_pipeline()
+            if pipeline is not None:
+                return self.database.aggregate(FEATURE_COLLECTION, pipeline)
+            return self.database.find(
+                FEATURE_COLLECTION,
+                filter_=query.to_db_filter() or None,
+                sort=query.sort_spec or None,
+                limit=query.limit_value,
+            )
 
     def count_features(self, query: Optional[Query] = None) -> int:
         filter_ = query.to_db_filter() if query is not None else None

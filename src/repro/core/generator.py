@@ -39,6 +39,7 @@ from repro.openflow.messages import (
     PortStatsReply,
     TableStatsReply,
 )
+from repro.telemetry import StageProfiler, get_telemetry
 
 FeatureSink = Callable[[AthenaFeature], None]
 
@@ -94,6 +95,20 @@ class FeatureGenerator:
         self.monitored_switches: Optional[Set[int]] = None  # None == all
         self.features_generated = 0
         self.records_suppressed = 0
+        # Telemetry: per-scope emission counters plus per-extraction-stage
+        # timings (null objects when telemetry is disabled).
+        registry = get_telemetry().registry
+        records = registry.counter(
+            "athena_feature_records_total",
+            "Feature records emitted by the generator, by scope.",
+            labelnames=("scope",),
+        )
+        self._metric_records = {
+            scope: records.labels(scope=scope.value) for scope in FeatureScope
+        }
+        self._profiler = StageProfiler(
+            metric="athena_feature_stage_seconds", registry=registry
+        )
 
     # -- configuration ------------------------------------------------------
 
@@ -106,6 +121,7 @@ class FeatureGenerator:
 
     def _emit(self, record: AthenaFeature) -> None:
         self.features_generated += 1
+        self._metric_records[record.scope].inc()
         if self.sink is not None:
             self.sink(record)
 
@@ -129,13 +145,17 @@ class FeatureGenerator:
         """Handle a statistics reply from the local controller."""
         message = event.message
         if isinstance(message, FlowStatsReply):
-            self._on_flow_stats(event.dpid, message, event.time)
+            with self._profiler.stage("flow_stats"):
+                self._on_flow_stats(event.dpid, message, event.time)
         elif isinstance(message, PortStatsReply):
-            self._on_port_stats(event.dpid, message, event.time)
+            with self._profiler.stage("port_stats"):
+                self._on_port_stats(event.dpid, message, event.time)
         elif isinstance(message, TableStatsReply):
-            self._on_table_stats(event.dpid, message, event.time)
+            with self._profiler.stage("table_stats"):
+                self._on_table_stats(event.dpid, message, event.time)
         elif isinstance(message, AggregateStatsReply):
-            self._on_aggregate_stats(event.dpid, message, event.time)
+            with self._profiler.stage("aggregate_stats"):
+                self._on_aggregate_stats(event.dpid, message, event.time)
 
     def on_packet_in(self, event: PacketInEvent) -> None:
         """Derive a flow record from a PACKET_IN (a new-flow observation).
@@ -147,6 +167,10 @@ class FeatureGenerator:
         dpid = event.dpid
         if not self._monitoring(dpid, FeatureScope.FLOW):
             return
+        with self._profiler.stage("packet_in"):
+            self._on_packet_in(event, dpid)
+
+    def _on_packet_in(self, event: PacketInEvent, dpid: int) -> None:
         indicators = self._indicators(event.message.headers)
         fields = self.flow_state.observe_flow(dpid, indicators, event.time)
         fields["FLOW_PACKET_COUNT"] = 0.0
@@ -167,6 +191,10 @@ class FeatureGenerator:
         dpid = event.dpid
         if not self._monitoring(dpid, FeatureScope.FLOW):
             return
+        with self._profiler.stage("flow_removed"):
+            self._on_flow_removed(event, dpid)
+
+    def _on_flow_removed(self, event: FlowRemovedEvent, dpid: int) -> None:
         indicators = self._indicators(event.message.match.to_dict())
         fields = protocol.removed_flow_fields(event.message)
         fields.update(combination.flow_fields(fields))

@@ -15,6 +15,7 @@ from repro.core.feature_manager import FeatureManager
 from repro.core.query import Query
 from repro.core.reactions import BlockReaction, QuarantineReaction, Reaction
 from repro.errors import ReactionError
+from repro.telemetry import get_telemetry
 
 
 class ReactionManager:
@@ -33,6 +34,15 @@ class ReactionManager:
         self._all_dpids = all_dpids
         self.reactions_enforced = 0
         self.history: List[Dict] = []
+        registry = get_telemetry().registry
+        self._metric_enforced = registry.counter(
+            "athena_reaction_enforced_total",
+            "Declarative reactions enforced by the reaction manager.",
+        )
+        self._metric_rules = registry.counter(
+            "athena_reaction_rules_total",
+            "Mitigation rules issued across all enforced reactions.",
+        )
 
     def resolve_targets(self, query: Query) -> List[str]:
         """Distinct suspicious source IPs among features matching ``query``."""
@@ -57,6 +67,8 @@ class ReactionManager:
         for ip in targets:
             rules += self._enforce_one(reaction, ip)
         self.reactions_enforced += 1
+        self._metric_enforced.inc()
+        self._metric_rules.inc(rules)
         self.history.append(
             {"reaction": reaction.describe(), "targets": targets, "rules": rules}
         )

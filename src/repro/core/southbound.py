@@ -34,6 +34,7 @@ from repro.openflow.messages import (
     PortStatsRequest,
     TableStatsRequest,
 )
+from repro.telemetry import get_telemetry
 
 #: App id attached to every rule Athena itself installs.
 ATHENA_APP_ID = "athena"
@@ -47,6 +48,15 @@ class AthenaProxy:
         self._flow_rules = flow_rules
         self.rules_issued = 0
         self.stats_requests_issued = 0
+        registry = get_telemetry().registry
+        self._metric_rules = registry.counter(
+            "athena_southbound_rules_issued_total",
+            "Flow rules installed through the Athena proxy.",
+        )
+        self._metric_stats_requests = registry.counter(
+            "athena_southbound_stats_requests_total",
+            "Athena-marked statistics polling rounds issued.",
+        )
 
     def issue_flow_rule(
         self,
@@ -69,6 +79,7 @@ class AthenaProxy:
             now=self._instance.sim.now,
         )
         self.rules_issued += 1
+        self._metric_rules.inc()
 
     def remove_flow_rule(self, dpid: int, match: Match, priority: int) -> int:
         return self._flow_rules.remove(dpid, match, priority, app_id=ATHENA_APP_ID)
@@ -92,6 +103,7 @@ class AthenaProxy:
             xids.append(request.xid)
             self._instance.send(dpid, request)
         self.stats_requests_issued += 1
+        self._metric_stats_requests.inc()
         return xids
 
 
@@ -118,6 +130,13 @@ class AttackDetector:
         self.backend = backend
         self.jobs_local = 0
         self.jobs_distributed = 0
+        jobs = get_telemetry().registry.counter(
+            "athena_detector_jobs_total",
+            "Detection jobs executed, by execution mode.",
+            labelnames=("mode",),
+        )
+        self._metric_jobs_local = jobs.labels(mode="local")
+        self._metric_jobs_distributed = jobs.labels(mode="distributed")
 
     def _should_distribute(self, n_rows: int) -> bool:
         return self.compute is not None and n_rows >= self.distributed_threshold
@@ -153,9 +172,11 @@ class AttackDetector:
                 self.compute, dataset, backend=self._backend(backend)
             )
             self.jobs_distributed += 1
+            self._metric_jobs_distributed.inc()
             return estimator.last_job_report
         estimator.fit(matrix, labels)
         self.jobs_local += 1
+        self._metric_jobs_local.inc()
         return None
 
     def run_validation(
@@ -164,6 +185,7 @@ class AttackDetector:
         """Predict over ``matrix``; distributed when the dataset is large."""
         if not self._should_distribute(matrix.shape[0]):
             self.jobs_local += 1
+            self._metric_jobs_local.inc()
             return estimator.predict(matrix), None
         dataset = PartitionedDataset.from_matrix(matrix, self._partitions())
         report = self.compute.run_map(
@@ -173,6 +195,7 @@ class AttackDetector:
             backend=self._backend(backend),
         )
         self.jobs_distributed += 1
+        self._metric_jobs_distributed.inc()
         return report.result, report
 
 
@@ -187,6 +210,15 @@ class AttackReactor:
         self._mac_resolver = mac_resolver
         self.blocks_installed = 0
         self.quarantines_installed = 0
+        registry = get_telemetry().registry
+        self._metric_blocks = registry.counter(
+            "athena_reaction_blocks_total",
+            "Block rules installed by the attack reactor.",
+        )
+        self._metric_quarantines = registry.counter(
+            "athena_reaction_quarantines_total",
+            "Quarantine rules installed by the attack reactor.",
+        )
 
     def _require_owned(self, dpid: int) -> None:
         if dpid not in self._owned_dpids():
@@ -204,6 +236,7 @@ class AttackReactor:
                 priority=priority,
             )
             self.blocks_installed += 1
+            self._metric_blocks.inc()
         return len(dpids)
 
     def quarantine(
@@ -240,6 +273,7 @@ class AttackReactor:
                 priority=priority,
             )
             self.quarantines_installed += 1
+            self._metric_quarantines.inc()
         return len(dpids)
 
     def undo(self, ip_src: str) -> int:
@@ -272,6 +306,11 @@ class SouthboundElement:
             self.proxy, instance.owned_dpids, mac_resolver=mac_resolver
         )
         self._attached = False
+        self._metric_table_entries = get_telemetry().registry.gauge(
+            "athena_dataplane_flow_table_entries",
+            "Flow-table occupancy per switch at the last Athena poll.",
+            labelnames=("switch",),
+        )
 
     def attach(self) -> None:
         """Subscribe the SB interface to the instance's taps and events."""
@@ -309,3 +348,8 @@ class SouthboundElement:
             self.proxy.issue_stats_requests(
                 dpid, include_switch_scope=include_switch
             )
+            switch = self.instance.switches.get(dpid)
+            if switch is not None:
+                self._metric_table_entries.labels(switch=switch.name).set(
+                    switch.flow_count()
+                )

@@ -104,5 +104,25 @@ class UIManager:
         lines.append(" " * 14 + f"t=[{t_min:.1f}, {t_max:.1f}]  " + "  ".join(legend))
         return self._record("\n".join(lines))
 
+    def show_metrics(self, snapshot: Dict[str, Any]) -> str:
+        """Aligned summary table of a telemetry snapshot."""
+        from repro.telemetry import summary_rows
+
+        rows = summary_rows(snapshot)
+        if not rows:
+            return self._record("(no metrics; telemetry is disabled)")
+        name_width = max(len(r["metric"]) for r in rows)
+        label_width = max(len(r["labels"]) for r in rows)
+        lines = [
+            f"{'metric':<{name_width}}  {'labels':<{label_width}}  value",
+            "-" * (name_width + label_width + 9),
+        ]
+        for row in rows:
+            lines.append(
+                f"{row['metric']:<{name_width}}  "
+                f"{row['labels']:<{label_width}}  {row['value']}"
+            )
+        return self._record("\n".join(lines))
+
     def last_output(self) -> Optional[str]:
         return self.rendered[-1] if self.rendered else None

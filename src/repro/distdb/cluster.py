@@ -17,6 +17,10 @@ from repro.distdb.aggregation import aggregate, merge_grouped
 from repro.distdb.query import equality_value, validate_filter
 from repro.distdb.shard import ShardNode
 from repro.errors import DatabaseError
+from repro.telemetry import get_telemetry
+
+#: Operation labels shared by the router's telemetry instruments.
+_DB_OPS = ("insert", "delete", "update", "find", "count", "aggregate")
 
 
 def _hash_value(value: Any) -> int:
@@ -44,6 +48,26 @@ class DatabaseCluster:
         self.replication = min(replication, n_shards) if n_shards > 1 else 1
         self.router_ops = 0
         self.bytes_on_wire = 0
+        # Telemetry: the per-op counter takes a dynamic ``collection``
+        # label, so the hot write path guards on a captured enabled flag
+        # instead of paying the labels() lookup when disabled.
+        registry = get_telemetry().registry
+        self._telemetry_on = registry.enabled
+        self._metric_ops = registry.counter(
+            "athena_distdb_ops_total",
+            "Router operations served, by operation and collection.",
+            labelnames=("op", "collection"),
+        )
+        op_seconds = registry.histogram(
+            "athena_distdb_op_seconds",
+            "Wall seconds per router operation.",
+            labelnames=("op",),
+        )
+        self._op_timers = {op: op_seconds.labels(op=op) for op in _DB_OPS}
+        self._metric_wire_bytes = registry.counter(
+            "athena_distdb_wire_bytes_total",
+            "Driver-side wire bytes encoded for inserts.",
+        )
 
     # -- routing ---------------------------------------------------------
 
@@ -64,12 +88,14 @@ class DatabaseCluster:
     def _replica_name(collection: str) -> str:
         return collection + "__replica"
 
-    def insert_one(self, collection: str, doc: Dict[str, Any]) -> Any:
+    def _insert_one_impl(self, collection: str, doc: Dict[str, Any]) -> Any:
         self.router_ops += 1
         # Driver-side wire encoding (the BSON step a real client performs);
         # this is genuine per-insert CPU work, which is what makes the
         # Table IX 'DB operations dominate' result measurable.
-        self.bytes_on_wire += len(json.dumps(doc, default=str, separators=(",", ":")))
+        encoded = len(json.dumps(doc, default=str, separators=(",", ":")))
+        self.bytes_on_wire += encoded
+        self._metric_wire_bytes.inc(encoded)
         key_value = doc.get(self.shard_key)
         if key_value is None:
             # No shard key: route by insertion order hash of the whole doc.
@@ -97,7 +123,7 @@ class DatabaseCluster:
             self.insert_one(collection, doc)
         return len(docs)
 
-    def delete_many(self, collection: str, filter_: Optional[Dict[str, Any]] = None) -> int:
+    def _delete_many_impl(self, collection: str, filter_: Optional[Dict[str, Any]] = None) -> int:
         self.router_ops += 1
         validate_filter(filter_)
         removed = 0
@@ -109,7 +135,7 @@ class DatabaseCluster:
                         removed += count
         return removed
 
-    def update_many(
+    def _update_many_impl(
         self, collection: str, filter_: Optional[Dict[str, Any]], changes: Dict[str, Any]
     ) -> int:
         self.router_ops += 1
@@ -124,7 +150,7 @@ class DatabaseCluster:
 
     # -- reads ----------------------------------------------------------------
 
-    def find(
+    def _find_impl(
         self,
         collection: str,
         filter_: Optional[Dict[str, Any]] = None,
@@ -159,7 +185,7 @@ class DatabaseCluster:
             results = results[: max(0, limit)]
         return results
 
-    def count(self, collection: str, filter_: Optional[Dict[str, Any]] = None) -> int:
+    def _count_impl(self, collection: str, filter_: Optional[Dict[str, Any]] = None) -> int:
         self.router_ops += 1
         return sum(
             shard.collection(collection).count(filter_)
@@ -167,7 +193,7 @@ class DatabaseCluster:
             if shard.has_collection(collection)
         )
 
-    def aggregate(
+    def _aggregate_impl(
         self, collection: str, pipeline: List[Dict[str, Any]]
     ) -> List[Dict[str, Any]]:
         """Run a pipeline, pushing work to shards when mergeable."""
@@ -203,6 +229,62 @@ class DatabaseCluster:
             for doc in shard.collection(collection).all_documents()
         ]
         return aggregate(docs, pipeline)
+
+
+    # -- instrumented public surface ------------------------------------------
+
+    def _tracked(self, op: str, collection: str, impl, *args: Any) -> Any:
+        """Run one router op under its counter and latency timer."""
+        self._metric_ops.labels(op=op, collection=collection).inc()
+        with self._op_timers[op].time():
+            return impl(collection, *args)
+
+    def insert_one(self, collection: str, doc: Dict[str, Any]) -> Any:
+        if not self._telemetry_on:
+            return self._insert_one_impl(collection, doc)
+        return self._tracked("insert", collection, self._insert_one_impl, doc)
+
+    def delete_many(
+        self, collection: str, filter_: Optional[Dict[str, Any]] = None
+    ) -> int:
+        if not self._telemetry_on:
+            return self._delete_many_impl(collection, filter_)
+        return self._tracked("delete", collection, self._delete_many_impl, filter_)
+
+    def update_many(
+        self, collection: str, filter_: Optional[Dict[str, Any]], changes: Dict[str, Any]
+    ) -> int:
+        if not self._telemetry_on:
+            return self._update_many_impl(collection, filter_, changes)
+        return self._tracked(
+            "update", collection, self._update_many_impl, filter_, changes
+        )
+
+    def find(
+        self,
+        collection: str,
+        filter_: Optional[Dict[str, Any]] = None,
+        sort: Optional[List[Tuple[str, int]]] = None,
+        limit: Optional[int] = None,
+        projection: Optional[List[str]] = None,
+    ) -> List[Dict[str, Any]]:
+        if not self._telemetry_on:
+            return self._find_impl(collection, filter_, sort, limit, projection)
+        return self._tracked(
+            "find", collection, self._find_impl, filter_, sort, limit, projection
+        )
+
+    def count(self, collection: str, filter_: Optional[Dict[str, Any]] = None) -> int:
+        if not self._telemetry_on:
+            return self._count_impl(collection, filter_)
+        return self._tracked("count", collection, self._count_impl, filter_)
+
+    def aggregate(
+        self, collection: str, pipeline: List[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        if not self._telemetry_on:
+            return self._aggregate_impl(collection, pipeline)
+        return self._tracked("aggregate", collection, self._aggregate_impl, pipeline)
 
     # -- administration -----------------------------------------------------------
 

@@ -23,6 +23,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.distdb.aggregation import aggregate as _aggregate
 from repro.distdb.query import filter_documents, get_path, validate_filter
 from repro.errors import DatabaseError
+from repro.telemetry import get_telemetry
 
 
 def _hash_value(value: Any) -> int:
@@ -110,6 +111,19 @@ class ColumnStoreCluster:
         self.replication = min(max(1, replication), n_nodes)
         self._id_counter = 0
         self.writes = 0
+        # Shares athena_distdb_ops_total with DatabaseCluster (the two are
+        # interchangeable backends behind the FeatureManager).
+        registry = get_telemetry().registry
+        self._telemetry_on = registry.enabled
+        self._metric_ops = registry.counter(
+            "athena_distdb_ops_total",
+            "Router operations served, by operation and collection.",
+            labelnames=("op", "collection"),
+        )
+
+    def _count_op(self, op: str, collection: str) -> None:
+        if self._telemetry_on:
+            self._metric_ops.labels(op=op, collection=collection).inc()
 
     # -- routing -----------------------------------------------------------
 
@@ -129,6 +143,7 @@ class ColumnStoreCluster:
     # -- writes ----------------------------------------------------------------
 
     def insert_one(self, collection: str, doc: Dict[str, Any]) -> Any:
+        self._count_op("insert", collection)
         stored = dict(doc)
         if "_id" not in stored:
             self._id_counter += 1
@@ -150,6 +165,7 @@ class ColumnStoreCluster:
         return len(docs)
 
     def delete_many(self, collection: str, filter_: Optional[Dict[str, Any]] = None) -> int:
+        self._count_op("delete", collection)
         validate_filter(filter_)
         removed = 0
         for name in (collection, collection + "__replica"):
@@ -170,6 +186,7 @@ class ColumnStoreCluster:
     def update_many(
         self, collection: str, filter_: Optional[Dict[str, Any]], changes: Dict[str, Any]
     ) -> int:
+        self._count_op("update", collection)
         validate_filter(filter_)
         touched = 0
         for node in self._live_nodes():
@@ -191,6 +208,7 @@ class ColumnStoreCluster:
         limit: Optional[int] = None,
         projection: Optional[List[str]] = None,
     ) -> List[Dict[str, Any]]:
+        self._count_op("find", collection)
         validate_filter(filter_)
         results: List[Dict[str, Any]] = []
         for node in self._live_nodes():
@@ -217,6 +235,7 @@ class ColumnStoreCluster:
         return results
 
     def count(self, collection: str, filter_: Optional[Dict[str, Any]] = None) -> int:
+        self._count_op("count", collection)
         validate_filter(filter_)
         return sum(
             1
@@ -228,6 +247,7 @@ class ColumnStoreCluster:
     def aggregate(
         self, collection: str, pipeline: List[Dict[str, Any]]
     ) -> List[Dict[str, Any]]:
+        self._count_op("aggregate", collection)
         docs = [
             doc
             for node in self._live_nodes()

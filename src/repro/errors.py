@@ -53,3 +53,7 @@ class FeatureError(AthenaError):
 
 class ReactionError(AthenaError):
     """A mitigation action could not be enforced on the data plane."""
+
+
+class TelemetryError(ReproError):
+    """Telemetry misuse (metric type conflict, bad label set, ...)."""

@@ -1,0 +1,99 @@
+"""Exposition: Prometheus text format, JSON snapshots, summary tables.
+
+The snapshot produced by :meth:`Telemetry.snapshot` is a plain dict; the
+functions here render it for the three consumers the framework has —
+
+* :func:`to_prometheus_text` — the ``athena metrics`` text output
+  (Prometheus 0.0.4 exposition: ``# HELP`` / ``# TYPE`` / samples, with
+  histograms expanded into ``_bucket{le=...}`` / ``_sum`` / ``_count``);
+* :func:`to_json` — ``athena metrics --json`` and the benchmark
+  artifacts (stable key order, so golden tests and diffs work);
+* :func:`summary_rows` — the flattened name/labels/value rows the
+  ``UIManager`` metrics table renders.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _format_labels(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [f'{key}="{labels[key]}"' for key in sorted(labels)]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def to_prometheus_text(snapshot: Dict[str, Any]) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for metric in snapshot.get("metrics", []):
+        name = metric["name"]
+        if metric.get("help"):
+            lines.append(f"# HELP {name} {metric['help']}")
+        lines.append(f"# TYPE {name} {metric['type']}")
+        for sample in metric["samples"]:
+            labels = sample.get("labels", {})
+            if metric["type"] == "histogram":
+                for bound, cumulative in sample["buckets"]:
+                    le = "+Inf" if bound == "+Inf" else _format_value(float(bound))
+                    le_label = 'le="' + le + '"'
+                    lines.append(
+                        f"{name}_bucket{_format_labels(labels, le_label)}"
+                        f" {cumulative}"
+                    )
+                lines.append(
+                    f"{name}_sum{_format_labels(labels)} "
+                    f"{_format_value(sample['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_format_labels(labels)} {sample['count']}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_format_labels(labels)} "
+                    f"{_format_value(sample['value'])}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_json(snapshot: Dict[str, Any], indent: int = 2) -> str:
+    """Render a snapshot as stable JSON."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True, default=str)
+
+
+def summary_rows(snapshot: Dict[str, Any]) -> List[Dict[str, str]]:
+    """Flatten a snapshot into ``{metric, labels, value}`` table rows.
+
+    Histograms summarise to ``count / mean``; counters and gauges to
+    their value.  Rows keep snapshot (name) order.
+    """
+    rows: List[Dict[str, str]] = []
+    for metric in snapshot.get("metrics", []):
+        for sample in metric["samples"]:
+            labels = sample.get("labels", {})
+            label_text = ",".join(
+                f"{key}={labels[key]}" for key in sorted(labels)
+            )
+            if metric["type"] == "histogram":
+                count = sample["count"]
+                mean = sample["sum"] / count if count else 0.0
+                value = f"n={count} mean={mean:.6f}s"
+            else:
+                value = _format_value(sample["value"])
+            rows.append(
+                {
+                    "metric": metric["name"],
+                    "type": metric["type"],
+                    "labels": label_text,
+                    "value": value,
+                }
+            )
+    return rows

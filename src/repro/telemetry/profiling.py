@@ -1,0 +1,82 @@
+"""Lightweight profiling hooks over the metrics registry.
+
+Two entry points:
+
+* :func:`timed` — a decorator recording a function's wall duration into
+  a histogram on the active registry.  Binding is lazy (the histogram is
+  looked up on first call), so modules can decorate at import time, long
+  before :func:`repro.telemetry.configure` runs.
+* :class:`StageProfiler` — an opt-in per-stage profile: each
+  ``with profiler.stage("normalise"):`` block aggregates into one
+  ``{stage=...}``-labelled histogram, giving a pipeline a cheap
+  flamegraph-by-numbers.
+
+Both are no-ops (no clock reads) while telemetry is disabled.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Optional
+
+from repro.telemetry.registry import MetricsRegistry
+
+
+def timed(
+    metric: str,
+    help: str = "",
+    registry: Optional[MetricsRegistry] = None,
+) -> Callable:
+    """Decorate a function to record its duration into ``metric``.
+
+    >>> @timed("athena_feature_normalise_seconds")
+    ... def normalise(matrix): ...
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        state = {"hist": None, "registry": None}
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            from repro.telemetry.runtime import get_telemetry
+
+            reg = registry if registry is not None else get_telemetry().registry
+            if state["hist"] is None or state["registry"] is not reg:
+                state["registry"] = reg
+                state["hist"] = reg.histogram(
+                    metric, help or f"Duration of {fn.__qualname__}."
+                )
+            with state["hist"].time():
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+class StageProfiler:
+    """Aggregates named pipeline stages into one labelled histogram."""
+
+    def __init__(
+        self,
+        metric: str = "athena_profile_stage_seconds",
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if registry is None:
+            from repro.telemetry.runtime import get_telemetry
+
+            registry = get_telemetry().registry
+        self._hist = registry.histogram(
+            metric,
+            "Wall seconds per profiled pipeline stage.",
+            labelnames=("stage",),
+        )
+        self._stages: dict = {}
+
+    def stage(self, name: str) -> Any:
+        """Context manager timing one stage occurrence."""
+        child = self._stages.get(name)
+        if child is None:
+            child = self._hist.labels(stage=name)
+            self._stages[name] = child
+        return child.time()

@@ -1,0 +1,479 @@
+"""Metric primitives: counters, gauges, fixed-bucket histograms.
+
+The registry hands out *instruments*.  When telemetry is disabled (the
+default), every request returns the shared :data:`NULL_INSTRUMENT` — a
+do-nothing singleton whose ``inc``/``set``/``observe``/``time`` methods
+allocate nothing and touch no clocks, so instrumented hot paths cost one
+no-op method call per event.  Call sites therefore bind instruments once
+at construction time and never check an enabled flag themselves.
+
+Label semantics follow the Prometheus client model: an instrument
+declared with ``labelnames`` is a parent; ``labels(switch="s1")``
+returns (and memoises) the child that actually carries a value.  A
+per-metric cardinality cap bounds memory — once ``max_label_sets``
+children exist, further label sets collapse into a single ``_overflow``
+child and are counted in ``dropped_label_sets``.
+
+Metric names follow ``athena_<layer>_<name>_<unit>`` (see
+docs/TELEMETRY.md); the registry enforces the character set and rejects
+re-registration with a different type or label schema.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.errors import TelemetryError
+from repro.telemetry.clocks import wall_now
+
+#: Latency buckets (seconds) tuned for per-event control-plane work:
+#: 10us .. 10s, roughly logarithmic.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+#: Label-set key of the collapsed over-cardinality child.
+_OVERFLOW = "_overflow"
+
+
+class _NullTimer:
+    """Context manager that does nothing — not even read a clock."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        return False
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class NullInstrument:
+    """The shared do-nothing instrument of a disabled registry.
+
+    One singleton serves every metric type: ``labels()`` returns itself,
+    value-reporting properties read as zero, and mutators are no-ops.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+    kind = "null"
+
+    def labels(self, **labels: Any) -> "NullInstrument":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def time(self) -> _NullTimer:
+        return _NULL_TIMER
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+    @property
+    def sum(self) -> float:
+        return 0.0
+
+    @property
+    def count(self) -> int:
+        return 0
+
+
+NULL_INSTRUMENT = NullInstrument()
+
+
+class _Timer:
+    """Context manager observing its wall-clock duration into a histogram."""
+
+    __slots__ = ("_hist", "_started")
+
+    def __init__(self, hist: "Histogram") -> None:
+        self._hist = hist
+        self._started = wall_now()
+
+    def __enter__(self) -> "_Timer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        # Record on failure too: a span/op that raised still cost time.
+        self._hist.observe(wall_now() - self._started)
+        return False
+
+
+class Instrument:
+    """Base class: name, help text, and labelled children."""
+
+    kind = "untyped"
+    enabled = True
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        deterministic: bool = True,
+        max_label_sets: int = 64,
+    ) -> None:
+        if not _NAME_RE.match(name):
+            raise TelemetryError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        #: Whether snapshots taken under ``deterministic_only`` keep this
+        #: metric: counters of simulated events are reproducible, wall-time
+        #: histograms are not.
+        self.deterministic = deterministic
+        self.max_label_sets = max_label_sets
+        self._children: Dict[Tuple[str, ...], Instrument] = {}
+        self.dropped_label_sets = 0
+
+    # -- labels --------------------------------------------------------------
+
+    def labels(self, **labels: Any) -> "Instrument":
+        """The child instrument carrying this exact label set."""
+        if not self.labelnames:
+            raise TelemetryError(f"{self.name} was declared without labels")
+        if set(labels) != set(self.labelnames):
+            raise TelemetryError(
+                f"{self.name} expects labels {self.labelnames}, got "
+                f"{tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            if len(self._children) >= self.max_label_sets:
+                self.dropped_label_sets += 1
+                return self._overflow_child()
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    def _overflow_child(self) -> "Instrument":
+        key = (_OVERFLOW,) * len(self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    def _make_child(self) -> "Instrument":
+        return type(self)(
+            self.name,
+            self.help,
+            deterministic=self.deterministic,
+            max_label_sets=self.max_label_sets,
+        )
+
+    def _require_leaf(self) -> None:
+        if self.labelnames:
+            raise TelemetryError(
+                f"{self.name} has labels {self.labelnames}; call "
+                f".labels(...) before recording"
+            )
+
+    # -- collection ----------------------------------------------------------
+
+    def _sample(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def _reset_value(self) -> None:
+        raise NotImplementedError
+
+    def collect(self) -> Dict[str, Any]:
+        """One snapshot entry: metadata plus every labelled sample."""
+        samples: List[Dict[str, Any]] = []
+        if self.labelnames:
+            for key in sorted(self._children):
+                sample = self._children[key]._sample()
+                sample["labels"] = dict(zip(self.labelnames, key))
+                samples.append(sample)
+        else:
+            sample = self._sample()
+            sample["labels"] = {}
+            samples.append(sample)
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "deterministic": self.deterministic,
+            "samples": samples,
+        }
+
+    def reset(self) -> None:
+        """Zero this instrument and all its children (refs stay valid)."""
+        self._reset_value()
+        for child in self._children.values():
+            child.reset()
+        self.dropped_label_sets = 0
+
+
+class Counter(Instrument):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise TelemetryError(f"{self.name}: counters only go up")
+        self._require_leaf()
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        if self.labelnames:
+            return sum(c.value for c in self._children.values())
+        return self._value
+
+    def _sample(self) -> Dict[str, Any]:
+        return {"value": self._value}
+
+    def _reset_value(self) -> None:
+        self._value = 0.0
+
+
+class Gauge(Instrument):
+    """A value that can go up and down (occupancy, rates, last-seen)."""
+
+    kind = "gauge"
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._require_leaf()
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._require_leaf()
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._require_leaf()
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _sample(self) -> Dict[str, Any]:
+        return {"value": self._value}
+
+    def _reset_value(self) -> None:
+        self._value = 0.0
+
+
+class Histogram(Instrument):
+    """Fixed-bucket histogram with a cumulative-``le`` exposition.
+
+    An observation equal to a bucket's upper bound lands *in* that
+    bucket (Prometheus ``le`` semantics); anything above the last bound
+    lands in the implicit ``+Inf`` bucket.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        deterministic: bool = False,
+        max_label_sets: int = 64,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        super().__init__(
+            name,
+            help,
+            labelnames=labelnames,
+            deterministic=deterministic,
+            max_label_sets=max_label_sets,
+        )
+        bounds = tuple(buckets if buckets is not None else DEFAULT_BUCKETS)
+        if list(bounds) != sorted(set(bounds)):
+            raise TelemetryError(f"{name}: bucket bounds must strictly increase")
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot = +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def _make_child(self) -> "Histogram":
+        return Histogram(
+            self.name,
+            self.help,
+            deterministic=self.deterministic,
+            max_label_sets=self.max_label_sets,
+            buckets=self.buckets,
+        )
+
+    def observe(self, value: float) -> None:
+        self._require_leaf()
+        self._sum += value
+        self._count += 1
+        self._counts[bisect.bisect_left(self.buckets, value)] += 1
+
+    def time(self) -> _Timer:
+        """Context manager observing its own wall-clock duration."""
+        return _Timer(self)
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def _sample(self) -> Dict[str, Any]:
+        cumulative: List[List[Any]] = []
+        running = 0
+        for bound, bucket_count in zip(self.buckets, self._counts):
+            running += bucket_count
+            cumulative.append([bound, running])
+        cumulative.append(["+Inf", running + self._counts[-1]])
+        return {"count": self._count, "sum": self._sum, "buckets": cumulative}
+
+    def _reset_value(self) -> None:
+        self._counts = [0] * (len(self.buckets) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+
+class MetricsRegistry:
+    """Creates, deduplicates, and snapshots instruments.
+
+    ``enabled=False`` turns every request into :data:`NULL_INSTRUMENT`;
+    nothing is registered and snapshots come back empty, which is what
+    makes disabled-mode instrumentation nearly free.
+    """
+
+    def __init__(self, enabled: bool = True, max_label_sets: int = 64) -> None:
+        self.enabled = enabled
+        self.max_label_sets = max_label_sets
+        self._metrics: Dict[str, Instrument] = {}
+
+    # -- instrument factories ------------------------------------------------
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Any:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Any:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+        deterministic: bool = False,
+    ) -> Any:
+        return self._get_or_create(
+            Histogram,
+            name,
+            help,
+            labelnames,
+            buckets=buckets,
+            deterministic=deterministic,
+        )
+
+    def _get_or_create(
+        self,
+        cls: Type[Instrument],
+        name: str,
+        help: str,
+        labelnames: Sequence[str],
+        **kwargs: Any,
+    ) -> Any:
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise TelemetryError(
+                    f"{name} already registered as {existing.kind}, not "
+                    f"{cls.kind}"
+                )
+            if existing.labelnames != tuple(labelnames):
+                raise TelemetryError(
+                    f"{name} already registered with labels "
+                    f"{existing.labelnames}, not {tuple(labelnames)}"
+                )
+            return existing
+        if cls is Histogram:
+            metric: Instrument = Histogram(
+                name,
+                help,
+                labelnames=labelnames,
+                max_label_sets=self.max_label_sets,
+                **kwargs,
+            )
+        else:
+            metric = cls(
+                name,
+                help,
+                labelnames=labelnames,
+                max_label_sets=self.max_label_sets,
+                **kwargs,
+            )
+        self._metrics[name] = metric
+        return metric
+
+    # -- inspection ----------------------------------------------------------
+
+    def get(self, name: str) -> Optional[Instrument]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self, deterministic_only: bool = False) -> List[Dict[str, Any]]:
+        """Every metric's current state, sorted by name.
+
+        ``deterministic_only`` drops wall-time-derived metrics so two
+        identical simulated runs produce identical snapshots.
+        """
+        entries = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if deterministic_only and not metric.deterministic:
+                continue
+            entries.append(metric.collect())
+        return entries
+
+    def reset(self) -> None:
+        """Zero every registered instrument in place (refs stay valid)."""
+        for metric in self._metrics.values():
+            metric.reset()

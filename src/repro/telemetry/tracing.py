@@ -1,0 +1,166 @@
+"""Span-based tracing with dual wall/sim-clock durations.
+
+``tracer.span("feature.extract")`` opens a span; spans nest (the tracer
+keeps an explicit stack, the framework is single-threaded per process)
+and every finished span records
+
+* its **wall** duration (``clocks.wall_now``), for profiling real cost;
+* its **sim** start/duration (via the registered sim-clock source), so
+  traces taken from a deterministic run are themselves deterministic;
+* whether it exited through an exception (spans are exception-safe: the
+  record is emitted and the exception propagates).
+
+Finished spans land in a bounded ring buffer — the exporter —
+so tracing a long run keeps the most recent ``ring_size`` spans and
+constant memory.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from repro.telemetry.clocks import wall_now
+
+
+@dataclass
+class SpanRecord:
+    """One finished span."""
+
+    name: str
+    parent: Optional[str]
+    depth: int
+    wall_seconds: float
+    sim_start: Optional[float] = None
+    sim_seconds: Optional[float] = None
+    error: Optional[str] = None
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self, deterministic_only: bool = False) -> Dict[str, Any]:
+        entry: Dict[str, Any] = {
+            "name": self.name,
+            "parent": self.parent,
+            "depth": self.depth,
+            "error": self.error,
+            "sim_start": self.sim_start,
+            "sim_seconds": self.sim_seconds,
+        }
+        if self.attributes:
+            entry["attributes"] = dict(self.attributes)
+        if not deterministic_only:
+            entry["wall_seconds"] = self.wall_seconds
+        return entry
+
+
+class _NullSpan:
+    """Disabled-mode span: no clock reads, no allocation."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """An open span; closes (and records) on context-manager exit."""
+
+    __slots__ = ("_tracer", "name", "parent", "depth", "_wall_started",
+                 "_sim_started", "attributes")
+
+    def __init__(
+        self, tracer: "Tracer", name: str, parent: Optional[str], depth: int
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.parent = parent
+        self.depth = depth
+        self._wall_started = wall_now()
+        source = tracer.sim_time_source
+        self._sim_started = source() if source is not None else None
+        self.attributes: Dict[str, Any] = {}
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def __enter__(self) -> "_Span":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        sim_seconds = None
+        source = self._tracer.sim_time_source
+        if self._sim_started is not None and source is not None:
+            sim_seconds = source() - self._sim_started
+        self._tracer._finish(
+            SpanRecord(
+                name=self.name,
+                parent=self.parent,
+                depth=self.depth,
+                wall_seconds=wall_now() - self._wall_started,
+                sim_start=self._sim_started,
+                sim_seconds=sim_seconds,
+                error=exc_type.__name__ if exc_type is not None else None,
+                attributes=self.attributes,
+            )
+        )
+        return False  # never swallow the exception
+
+
+class Tracer:
+    """Creates spans and keeps the bounded ring of finished ones."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        ring_size: int = 512,
+        sim_time_source: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.enabled = enabled
+        self.sim_time_source = sim_time_source
+        self.finished: Deque[SpanRecord] = deque(maxlen=ring_size)
+        self._stack: List[_Span] = []
+        self.spans_started = 0
+        self.spans_errored = 0
+
+    def span(self, name: str) -> Any:
+        """Open a span nested under the currently active one."""
+        if not self.enabled:
+            return _NULL_SPAN
+        parent = self._stack[-1].name if self._stack else None
+        span = _Span(self, name, parent, depth=len(self._stack))
+        self._stack.append(span)
+        self.spans_started += 1
+        return span
+
+    def _finish(self, record: SpanRecord) -> None:
+        # The closing span is the innermost open one by construction; a
+        # mismatched exit (exotic generator use) just unwinds to it.
+        for idx in range(len(self._stack) - 1, -1, -1):
+            if self._stack[idx].name == record.name:
+                del self._stack[idx:]
+                break
+        if record.error is not None:
+            self.spans_errored += 1
+        self.finished.append(record)
+
+    def snapshot(self, deterministic_only: bool = False) -> List[Dict[str, Any]]:
+        """Finished spans, oldest first."""
+        return [
+            record.to_dict(deterministic_only=deterministic_only)
+            for record in self.finished
+        ]
+
+    def reset(self) -> None:
+        self.finished.clear()
+        self._stack.clear()
+        self.spans_started = 0
+        self.spans_errored = 0

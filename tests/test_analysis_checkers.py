@@ -19,6 +19,7 @@ from repro.analysis.checkers import (
     FeatureNameChecker,
     NorthboundChecker,
     OpenFlowCodecChecker,
+    TelemetryChecker,
     default_checkers,
 )
 from repro.core.feature_manager import FeatureManager
@@ -40,10 +41,10 @@ def rules_of(findings):
 
 
 class TestDefaultCheckers:
-    def test_all_four_registered(self):
+    def test_all_five_registered(self):
         names = {checker.name for checker in default_checkers()}
         assert names == {"determinism", "features", "northbound",
-                        "openflow-codec"}
+                        "openflow-codec", "telemetry"}
 
     def test_rule_ids_are_unique(self):
         seen = set()
@@ -375,3 +376,77 @@ class TestUIManagerStream:
         ui.show("quiet")
         assert capsys.readouterr().out == ""
         assert ui.last_output() == "quiet"
+
+
+class TestTelemetryChecker:
+    def test_raw_duration_clocks_flagged(self):
+        findings = run_checker(
+            TelemetryChecker(),
+            """
+            import time
+            from time import process_time
+            a = time.perf_counter()
+            b = process_time()
+            c = time.monotonic_ns()
+            """,
+        )
+        assert rules_of(findings) == ["ATH501", "ATH501", "ATH501"]
+
+    def test_sleep_flagged(self):
+        findings = run_checker(
+            TelemetryChecker(),
+            """
+            import time
+            time.sleep(0.1)
+            """,
+        )
+        assert rules_of(findings) == ["ATH502"]
+
+    def test_telemetry_clocks_module_is_exempt(self):
+        findings = run_checker(
+            TelemetryChecker(),
+            """
+            import time
+            now = time.perf_counter()
+            """,
+            path="src/repro/telemetry/clocks.py",
+        )
+        assert findings == []
+
+    def test_simkernel_and_backends_are_exempt(self):
+        source = """
+            import time
+            started = time.perf_counter()
+            """
+        for path in ("src/repro/simkernel/loop.py",
+                     "src/repro/compute/backends/process.py"):
+            assert run_checker(TelemetryChecker(), source, path=path) == []
+
+    def test_stopwatch_usage_is_clean(self):
+        findings = run_checker(
+            TelemetryChecker(),
+            """
+            from repro.telemetry.clocks import Stopwatch
+            watch = Stopwatch()
+            elapsed = watch.elapsed()
+            """,
+        )
+        assert findings == []
+
+    def test_inline_suppression_works(self, tmp_path):
+        from repro.cli import main as cli_main
+
+        src = tmp_path / "profiled.py"
+        src.write_text(
+            "import time\n"
+            "t = time.perf_counter()  # athena-lint: disable=ATH501\n"
+        )
+        assert cli_main(["lint", str(src), "--no-config"]) == 0
+
+    def test_shipped_tree_is_clean(self):
+        """The migrated call sites leave src/repro free of ATH5xx."""
+        from repro.analysis import LintEngine
+
+        engine = LintEngine(checkers=[TelemetryChecker()])
+        report = engine.run([os.path.join(REPO_ROOT, "src", "repro")])
+        assert [f.render() for f in report.findings] == []
