@@ -6,6 +6,7 @@ from typing import List
 
 from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.features import FeatureNameChecker
+from repro.analysis.checkers.hotpath import HotpathChecker
 from repro.analysis.checkers.northbound import NorthboundChecker
 from repro.analysis.checkers.openflow_codec import OpenFlowCodecChecker
 from repro.analysis.checkers.telemetry import TelemetryChecker
@@ -14,6 +15,7 @@ from repro.analysis.engine import Checker
 __all__ = [
     "DeterminismChecker",
     "FeatureNameChecker",
+    "HotpathChecker",
     "NorthboundChecker",
     "OpenFlowCodecChecker",
     "TelemetryChecker",
@@ -29,4 +31,5 @@ def default_checkers() -> List[Checker]:
         NorthboundChecker(),
         OpenFlowCodecChecker(),
         TelemetryChecker(),
+        HotpathChecker(),
     ]

@@ -75,6 +75,9 @@ class FeatureManager:
         self.database.create_index(FEATURE_COLLECTION, "switch_id")
         self.database.create_index(FEATURE_COLLECTION, "feature_scope")
         self.database.create_index(FEATURE_COLLECTION, "ip_src")
+        # Compound index backing the per-flow feature queries, whose
+        # filters pin (feature_scope, switch_id) inside an $and.
+        self.database.create_index(FEATURE_COLLECTION, "feature_scope", "switch_id")
 
     # -- southbound-facing ---------------------------------------------------
 

@@ -14,7 +14,7 @@ import json
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.distdb.aggregation import aggregate, merge_grouped
-from repro.distdb.query import equality_value, validate_filter
+from repro.distdb.query import equality_value, sort_documents, validate_filter
 from repro.distdb.shard import ShardNode
 from repro.errors import DatabaseError
 from repro.telemetry import get_telemetry
@@ -174,13 +174,7 @@ class DatabaseCluster:
                     )
                 )
         if sort:
-            from repro.distdb.query import get_path
-
-            for field, direction in reversed(sort):
-                results.sort(
-                    key=lambda d: (get_path(d, field) is None, get_path(d, field)),
-                    reverse=direction < 0,
-                )
+            sort_documents(results, sort)
         if limit is not None:
             results = results[: max(0, limit)]
         return results
@@ -288,9 +282,9 @@ class DatabaseCluster:
 
     # -- administration -----------------------------------------------------------
 
-    def create_index(self, collection: str, field: str) -> None:
+    def create_index(self, collection: str, *fields: str) -> None:
         for shard in self.shards:
-            shard.collection(collection).create_index(field)
+            shard.collection(collection).create_index(*fields)
 
     def document_count(self) -> int:
         return sum(shard.document_count() for shard in self.shards)

@@ -4,7 +4,18 @@ Documents are plain dicts; inserting copies them and assigns an ``_id``.
 Equality lookups on indexed fields use the hash index; everything else scans.
 The collection also counts operations and approximate bytes handled, which
 the Cbench experiment uses to report where overhead went.
+
+Reads take a zero-copy fast path by default (docs/PERF.md): ``find``
+filters the raw stored documents, memoizes each document's byte estimate
+per ``_id`` (invalidated on update/delete), sorts and limits *before*
+copying, and only the surviving documents are copied out.  Compound
+``(field, field)`` hash indexes serve the feature store's per-flow
+queries, whose filters pin a pair of fields inside an ``$and``.  With
+``ATHENA_FAST_PATH=0`` the original copy-then-trim read path runs
+instead; both return identical results and identical byte accounting.
 """
+
+# athena-lint: hot-path
 
 from __future__ import annotations
 
@@ -13,13 +24,17 @@ from collections import defaultdict
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.distdb.query import (
-    equality_value,
+    MISSING,
+    collect_equality_pins,
+    equality_pin,
     filter_documents,
     get_path,
     matches_filter,
+    sort_documents,
     validate_filter,
 )
 from repro.errors import DatabaseError
+from repro.perf import fastpath as _fastpath
 
 _id_counter = itertools.count(1)
 
@@ -49,6 +64,12 @@ class Collection:
         self.name = name
         self._docs: Dict[Any, Dict[str, Any]] = {}
         self._indexes: Dict[str, Dict[Any, set]] = {}
+        #: (field, ...) tuple -> value tuple -> _ids; maintained alongside
+        #: the single-field indexes and consulted first when a filter pins
+        #: every field of the compound key.
+        self._compound_indexes: Dict[Tuple[str, ...], Dict[Tuple[Any, ...], set]] = {}
+        #: _id -> memoized approx_size of the stored document.
+        self._size_cache: Dict[Any, int] = {}
         # Operation accounting.
         self.ops = defaultdict(int)
         self.bytes_written = 0
@@ -59,20 +80,40 @@ class Collection:
 
     # -- indexing ----------------------------------------------------------
 
-    def create_index(self, field: str) -> None:
-        """Build (or rebuild) a hash index over ``field``."""
-        index: Dict[Any, set] = defaultdict(set)
+    def create_index(self, *fields: str) -> None:
+        """Build (or rebuild) a hash index over ``fields``.
+
+        One field builds the classic single-field index; several build a
+        compound index keyed on the tuple of their values.
+        """
+        if not fields:
+            raise DatabaseError("create_index needs at least one field")
+        if len(fields) == 1:
+            field = fields[0]
+            index: Dict[Any, set] = defaultdict(set)
+            for _id, doc in self._docs.items():
+                index[get_path(doc, field)].add(_id)
+            self._indexes[field] = index
+            return
+        compound: Dict[Tuple[Any, ...], set] = defaultdict(set)
         for _id, doc in self._docs.items():
-            index[get_path(doc, field)].add(_id)
-        self._indexes[field] = index
+            compound[tuple(get_path(doc, f) for f in fields)].add(_id)
+        self._compound_indexes[tuple(fields)] = compound
 
     def _index_add(self, doc: Dict[str, Any]) -> None:
         for field, index in self._indexes.items():
             index.setdefault(get_path(doc, field), set()).add(doc["_id"])
+        for fields, index in self._compound_indexes.items():
+            key = tuple(get_path(doc, f) for f in fields)
+            index.setdefault(key, set()).add(doc["_id"])
 
     def _index_remove(self, doc: Dict[str, Any]) -> None:
         for field, index in self._indexes.items():
             bucket = index.get(get_path(doc, field))
+            if bucket is not None:
+                bucket.discard(doc["_id"])
+        for fields, index in self._compound_indexes.items():
+            bucket = index.get(tuple(get_path(doc, f) for f in fields))
             if bucket is not None:
                 bucket.discard(doc["_id"])
 
@@ -89,7 +130,9 @@ class Collection:
         self._docs[stored["_id"]] = stored
         self._index_add(stored)
         self.ops["insert"] += 1
-        self.bytes_written += approx_size(stored)
+        size = approx_size(stored)
+        self._size_cache[stored["_id"]] = size
+        self.bytes_written += size
         return stored["_id"]
 
     def insert_many(self, docs: Iterable[Dict[str, Any]]) -> List[Any]:
@@ -101,6 +144,7 @@ class Collection:
         for _id in doomed:
             doc = self._docs.pop(_id)
             self._index_remove(doc)
+            self._size_cache.pop(_id, None)
         self.ops["delete"] += 1
         return len(doomed)
 
@@ -115,21 +159,57 @@ class Collection:
                 self._index_remove(doc)
                 doc.update(changes)
                 self._index_add(doc)
+                self._size_cache.pop(doc["_id"], None)
                 touched += 1
         self.ops["update"] += 1
         return touched
 
     # -- reads -----------------------------------------------------------------
 
+    def _approx_size_cached(self, doc: Dict[str, Any]) -> int:
+        _id = doc["_id"]
+        size = self._size_cache.get(_id)
+        if size is None:
+            size = approx_size(doc)
+            self._size_cache[_id] = size
+        return size
+
     def _candidates(
         self, filter_: Optional[Dict[str, Any]]
     ) -> Iterable[Dict[str, Any]]:
-        """Use a hash index when the filter pins an indexed field."""
-        for field in self._indexes:
-            value = equality_value(filter_, field)
-            if value is not None:
-                ids = self._indexes[field].get(value, set())
-                return [self._docs[_id] for _id in ids if _id in self._docs]
+        """Use a hash index when the filter pins an indexed field.
+
+        ``None`` is a legitimate pinned value (the sentinel-based pin
+        extraction keeps "pinned to None" distinct from "not pinned"); on
+        the fast path, pins inside ``$and`` conjuncts count and compound
+        indexes are consulted before single-field ones.
+        """
+        if not _fastpath.ENABLED:
+            for field in self._indexes:
+                value = equality_pin(filter_, field)
+                if value is not MISSING:
+                    try:
+                        ids = self._indexes[field].get(value, set())
+                    except TypeError:  # unhashable pin value
+                        continue
+                    return [self._docs[_id] for _id in ids if _id in self._docs]
+            return self._docs.values()
+        pins = collect_equality_pins(filter_)
+        if pins:
+            for fields, index in self._compound_indexes.items():
+                if all(f in pins for f in fields):
+                    try:
+                        ids = index.get(tuple(pins[f] for f in fields), set())
+                    except TypeError:
+                        continue
+                    return [self._docs[_id] for _id in ids if _id in self._docs]
+            for field in self._indexes:
+                if field in pins:
+                    try:
+                        ids = self._indexes[field].get(pins[field], set())
+                    except TypeError:
+                        continue
+                    return [self._docs[_id] for _id in ids if _id in self._docs]
         return self._docs.values()
 
     def find(
@@ -142,16 +222,36 @@ class Collection:
         """Query the collection. ``sort`` is a list of (field, +1/-1)."""
         validate_filter(filter_)
         self.ops["find"] += 1
+        if not _fastpath.ENABLED:
+            return self._find_reference(filter_, sort, limit, projection)
+        matched = list(filter_documents(self._candidates(filter_), filter_))
+        # Byte accounting covers every matched document (pre-limit), with
+        # the same totals as the reference path — just memoized.
+        self.bytes_read += sum(self._approx_size_cached(d) for d in matched)
+        if sort:
+            sort_documents(matched, sort)
+        if limit is not None:
+            matched = matched[: max(0, limit)]
+        results = [dict(doc) for doc in matched]
+        if projection:
+            keep = set(projection) | {"_id"}
+            results = [{k: v for k, v in doc.items() if k in keep} for doc in results]
+        return results
+
+    def _find_reference(
+        self,
+        filter_: Optional[Dict[str, Any]],
+        sort: Optional[List[Tuple[str, int]]],
+        limit: Optional[int],
+        projection: Optional[List[str]],
+    ) -> List[Dict[str, Any]]:
+        """The original copy-then-trim read path (``ATHENA_FAST_PATH=0``)."""
         results = [
             dict(doc) for doc in filter_documents(self._candidates(filter_), filter_)
         ]
         self.bytes_read += sum(approx_size(d) for d in results)
         if sort:
-            for field, direction in reversed(sort):
-                results.sort(
-                    key=lambda d: (get_path(d, field) is None, get_path(d, field)),
-                    reverse=direction < 0,
-                )
+            sort_documents(results, sort)
         if limit is not None:
             results = results[: max(0, limit)]
         if projection:

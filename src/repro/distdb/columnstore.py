@@ -21,7 +21,7 @@ import hashlib
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.distdb.aggregation import aggregate as _aggregate
-from repro.distdb.query import filter_documents, get_path, validate_filter
+from repro.distdb.query import filter_documents, sort_documents, validate_filter
 from repro.errors import DatabaseError
 from repro.telemetry import get_telemetry
 
@@ -220,11 +220,7 @@ class ColumnStoreCluster:
                     )
                 )
         if sort:
-            for field, direction in reversed(sort):
-                results.sort(
-                    key=lambda d: (get_path(d, field) is None, get_path(d, field)),
-                    reverse=direction < 0,
-                )
+            sort_documents(results, sort)
         if limit is not None:
             results = results[: max(0, limit)]
         if projection:
@@ -258,7 +254,7 @@ class ColumnStoreCluster:
 
     # -- administration ----------------------------------------------------------------
 
-    def create_index(self, collection: str, field: str) -> None:
+    def create_index(self, collection: str, *fields: str) -> None:
         """No-op: the write-optimised store has no secondary indexes."""
 
     def document_count(self) -> int:

@@ -11,9 +11,11 @@ Supported comparison operators: ``$eq $ne $gt $gte $lt $lte $in $nin
 $exists``; logical: ``$and $or $nor $not``.
 """
 
+# athena-lint: hot-path
+
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import QueryError
 
@@ -124,15 +126,101 @@ def validate_filter(filter_: Optional[Dict[str, Any]]) -> None:
 
 
 def equality_value(filter_: Optional[Dict[str, Any]], field: str) -> Optional[Any]:
-    """If the filter pins ``field`` to one value, return it (shard routing)."""
-    if not filter_:
-        return None
-    condition = filter_.get(field)
-    if condition is None:
-        return None
-    if isinstance(condition, dict):
-        return condition.get("$eq")
+    """If the filter pins ``field`` to one value, return it (shard routing).
+
+    ``None`` is ambiguous here — it means both "not pinned" and "pinned to
+    None".  Shard routing treats the two the same (scatter-gather), but
+    index selection must not; use :func:`equality_pin` there.
+    """
+    value = equality_pin(filter_, field)
+    return None if value is MISSING else value
+
+
+#: Sentinel distinguishing "field not pinned" from "pinned to None".
+MISSING = object()
+
+
+def equality_pin(filter_: Optional[Dict[str, Any]], field: str) -> Any:
+    """The value ``filter_`` pins ``field`` to, or :data:`MISSING`.
+
+    A field counts as pinned by a top-level direct equality
+    (``{"k": v}``) or an explicit ``$eq`` inside an operator dict
+    (``{"k": {"$eq": v, ...}}``); ``None`` is a legitimate pinned value.
+    """
+    if not filter_ or field not in filter_:
+        return MISSING
+    condition = filter_[field]
+    if isinstance(condition, dict) and any(k.startswith("$") for k in condition):
+        return condition.get("$eq", MISSING)
     return condition
+
+
+def collect_equality_pins(filter_: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """Every field the filter pins to a single value (index selection).
+
+    Besides top-level pins, descends into ``$and`` conjuncts: a document
+    matching ``{"$and": [...]}`` must satisfy every conjunct, so each
+    conjunct's pins narrow the candidate set soundly.  ``$or`` / ``$nor``
+    / ``$not`` never contribute pins.
+    """
+    pins: Dict[str, Any] = {}
+    if not filter_:
+        return pins
+    for key, condition in filter_.items():
+        if key == "$and" and isinstance(condition, (list, tuple)):
+            for sub in condition:
+                pins.update(collect_equality_pins(sub))
+        elif not key.startswith("$"):
+            value = equality_pin(filter_, key)
+            if value is not MISSING:
+                pins[key] = value
+    return pins
+
+
+def sort_documents(
+    docs: List[Dict[str, Any]], sort: Optional[List[Tuple[str, int]]]
+) -> List[Dict[str, Any]]:
+    """Sort ``docs`` in place by a Mongo-style ``[(field, +1/-1)]`` spec.
+
+    Missing values order first ascending / last descending, like the
+    historical per-field passes.  When every field shares one direction
+    the list is sorted once with a composite key; mixed directions fall
+    back to stable per-field passes (still computing each key once per
+    document — Python's sort calls ``key`` once per element).
+    """
+    if not sort:
+        return docs
+    directions = {direction for _field, direction in sort}
+    if len(directions) == 1:
+        descending = directions.pop() < 0
+        names = [name for name, _direction in sort]
+        if len(names) == 1:
+            name = names[0]
+
+            def single_key(doc: Dict[str, Any]) -> Tuple[bool, Any]:
+                value = get_path(doc, name)
+                return (value is None, value)
+
+            docs.sort(key=single_key, reverse=descending)
+        else:
+
+            def composite_key(doc: Dict[str, Any]) -> Tuple[Any, ...]:
+                key: List[Any] = []
+                for name in names:
+                    value = get_path(doc, name)
+                    key.append((value is None, value))
+                return tuple(key)
+
+            docs.sort(key=composite_key, reverse=descending)
+        return docs
+    for name, direction in reversed(sort):
+
+        def field_key(doc: Dict[str, Any], _name: str = name) -> Tuple[bool, Any]:
+            value = get_path(doc, _name)
+            return (value is None, value)
+
+        docs.sort(key=field_key, reverse=direction < 0)
+    return docs
 
 
 def filter_documents(

@@ -4,16 +4,28 @@ A :class:`Match` is the 12-tuple-style header match of OpenFlow 1.0 with the
 fields Athena's feature catalog indexes on.  ``None`` means wildcard.  The
 structure is hashable so flow tables and Athena's per-flow state tables can
 key on it directly.
+
+Matching is the innermost loop of the simulated dataplane — every packet
+through every switch evaluates at least one :meth:`Match.matches` — so a
+match compiles itself once at construction: the non-wildcard fields are
+frozen into tuples and a closure over only those fields replaces the
+per-call ``dataclasses.fields()`` introspection of the reference
+implementation (kept, and selectable with ``ATHENA_FAST_PATH=0``; see
+docs/PERF.md).
 """
+
+# athena-lint: hot-path
 
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import OpenFlowError
+from repro.perf import fastpath as _fastpath
 
-#: Names of all matchable fields in precedence-free order.
+#: Names of all matchable fields in precedence-free order (this order is
+#: also the dataclass field order, which the compiled caches rely on).
 MATCH_FIELDS = (
     "in_port",
     "eth_src",
@@ -27,6 +39,30 @@ MATCH_FIELDS = (
     "tcp_src",
     "tcp_dst",
 )
+
+
+def _compile_predicate(
+    set_fields: Tuple[Tuple[str, Any], ...]
+) -> Callable[[Dict[str, Any]], bool]:
+    """Build the per-instance ``matches`` closure over non-wildcard fields."""
+    if not set_fields:
+        return lambda headers: True
+    if len(set_fields) == 1:
+        ((name, wanted),) = set_fields
+
+        def predicate_one(headers: Dict[str, Any]) -> bool:
+            return headers.get(name) == wanted
+
+        return predicate_one
+
+    def predicate(headers: Dict[str, Any]) -> bool:
+        get = headers.get
+        for name, wanted in set_fields:
+            if get(name) != wanted:
+                return False
+        return True
+
+    return predicate
 
 
 @dataclass(frozen=True)
@@ -49,14 +85,67 @@ class Match:
     tcp_src: Optional[int] = None
     tcp_dst: Optional[int] = None
 
+    def __post_init__(self) -> None:
+        # Compile once per instance.  The caches live in the instance
+        # __dict__ and never participate in dataclass eq/hash; the field
+        # order below mirrors MATCH_FIELDS exactly.
+        values = (
+            self.in_port,
+            self.eth_src,
+            self.eth_dst,
+            self.eth_type,
+            self.vlan_id,
+            self.ip_src,
+            self.ip_dst,
+            self.ip_proto,
+            self.ip_tos,
+            self.tcp_src,
+            self.tcp_dst,
+        )
+        set_fields = tuple(
+            (name, value)
+            for name, value in zip(MATCH_FIELDS, values)
+            if value is not None
+        )
+        object.__setattr__(self, "_key", values)
+        object.__setattr__(self, "_set_fields", set_fields)
+        object.__setattr__(
+            self,
+            "_set_indexed",
+            tuple((i, value) for i, value in enumerate(values) if value is not None),
+        )
+        object.__setattr__(self, "_specificity", len(set_fields))
+        object.__setattr__(self, "_predicate", _compile_predicate(set_fields))
+
+    # The compiled predicate is a closure, which pickle cannot carry;
+    # serialize only the declared fields and recompile on load.
+    def __getstate__(self) -> Dict[str, Any]:
+        return dict(zip(MATCH_FIELDS, self._key))
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        for name in MATCH_FIELDS:
+            object.__setattr__(self, name, state.get(name))
+        self.__post_init__()
+
+    def key_tuple(self) -> Tuple[Any, ...]:
+        """All field values in :data:`MATCH_FIELDS` order (``None`` =
+        wildcard); the flow table's exact-match hash index keys on this."""
+        return self._key
+
     def matches(self, headers: Dict[str, Any]) -> bool:
         """Return whether a concrete packet-header dict satisfies this match.
 
         ``headers`` maps field names to concrete values; missing header keys
         only satisfy wildcarded fields.
         """
-        for field_ in fields(self):
-            wanted = getattr(self, field_.name)
+        if _fastpath.ENABLED:
+            return self._predicate(headers)
+        return self._matches_reference(headers)
+
+    def _matches_reference(self, headers: Dict[str, Any]) -> bool:
+        """The original introspecting implementation (``ATHENA_FAST_PATH=0``)."""
+        for field_ in fields(self):  # athena-lint: disable=ATH601
+            wanted = getattr(self, field_.name)  # athena-lint: disable=ATH602
             if wanted is None:
                 continue
             if headers.get(field_.name) != wanted:
@@ -65,27 +154,19 @@ class Match:
 
     def is_subset_of(self, other: "Match") -> bool:
         """True if every packet this match accepts, ``other`` also accepts."""
-        for field_ in fields(self):
-            theirs = getattr(other, field_.name)
-            if theirs is None:
-                continue
-            if getattr(self, field_.name) != theirs:
+        key = self._key
+        for index, theirs in other._set_indexed:
+            if key[index] != theirs:
                 return False
         return True
 
     def specificity(self) -> int:
         """Number of concretely matched fields (used for tie-breaking)."""
-        return sum(
-            1 for field_ in fields(self) if getattr(self, field_.name) is not None
-        )
+        return self._specificity
 
     def to_dict(self) -> Dict[str, Any]:
         """Dict of only the concretely matched fields."""
-        return {
-            field_.name: getattr(self, field_.name)
-            for field_ in fields(self)
-            if getattr(self, field_.name) is not None
-        }
+        return dict(self._set_fields)
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "Match":

@@ -1,0 +1,37 @@
+"""repro.perf — hot-path switches and the benchmark-regression harness.
+
+Two concerns live here (docs/PERF.md):
+
+* :mod:`repro.perf.fastpath` — the process-wide ``ATHENA_FAST_PATH``
+  switch the optimized data structures consult.  Fast paths are **on**
+  by default; ``ATHENA_FAST_PATH=0`` routes every hot call through the
+  original reference implementations, which is how the equivalence
+  tests and the regression bench compare the two.
+* :mod:`repro.perf.harness` — measurement and comparison machinery for
+  ``benchmarks/bench_hotpath.py``: time a workload under both paths,
+  check results are identical, compute throughput and speedup, and
+  persist ``BENCH_hotpath.json`` so successive PRs accumulate a perf
+  trajectory.
+"""
+
+from __future__ import annotations
+
+from repro.perf.fastpath import (
+    ENV_FLAG,
+    fast_path_enabled,
+    fast_path_scope,
+    refresh_fast_path,
+    set_fast_path,
+)
+from repro.perf.harness import BenchResult, HotpathReport, measure_throughput
+
+__all__ = [
+    "BenchResult",
+    "ENV_FLAG",
+    "HotpathReport",
+    "fast_path_enabled",
+    "fast_path_scope",
+    "measure_throughput",
+    "refresh_fast_path",
+    "set_fast_path",
+]

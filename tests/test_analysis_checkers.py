@@ -17,6 +17,7 @@ from repro.analysis import ParsedModule
 from repro.analysis.checkers import (
     DeterminismChecker,
     FeatureNameChecker,
+    HotpathChecker,
     NorthboundChecker,
     OpenFlowCodecChecker,
     TelemetryChecker,
@@ -41,9 +42,9 @@ def rules_of(findings):
 
 
 class TestDefaultCheckers:
-    def test_all_five_registered(self):
+    def test_all_six_registered(self):
         names = {checker.name for checker in default_checkers()}
-        assert names == {"determinism", "features", "northbound",
+        assert names == {"determinism", "features", "hotpath", "northbound",
                         "openflow-codec", "telemetry"}
 
     def test_rule_ids_are_unique(self):
@@ -450,3 +451,94 @@ class TestTelemetryChecker:
         engine = LintEngine(checkers=[TelemetryChecker()])
         report = engine.run([os.path.join(REPO_ROOT, "src", "repro")])
         assert [f.render() for f in report.findings] == []
+
+
+class TestHotpathChecker:
+    def test_unmarked_module_is_ignored(self):
+        findings = run_checker(
+            HotpathChecker(),
+            """
+            from dataclasses import fields
+
+            def slow(obj, headers):
+                for f in fields(obj):
+                    if getattr(obj, f.name) != headers.get(f.name):
+                        return False
+                return True
+            """,
+        )
+        assert findings == []
+
+    def test_fields_per_call_flagged_in_hot_module(self):
+        findings = run_checker(
+            HotpathChecker(),
+            """
+            # athena-lint: hot-path
+            from dataclasses import fields
+
+            def matches(obj, headers):
+                return [f.name for f in fields(obj)]
+            """,
+        )
+        assert rules_of(findings) == ["ATH601"]
+
+    def test_getattr_in_loop_flagged(self):
+        findings = run_checker(
+            HotpathChecker(),
+            """
+            # athena-lint: hot-path
+            def matches(obj, headers):
+                for name in obj.names:
+                    if getattr(obj, name) != headers.get(name):
+                        return False
+                return True
+            """,
+        )
+        assert rules_of(findings) == ["ATH602"]
+
+    def test_construction_time_reflection_is_exempt(self):
+        findings = run_checker(
+            HotpathChecker(),
+            """
+            # athena-lint: hot-path
+            from dataclasses import fields
+
+            class Match:
+                def __post_init__(self):
+                    self._names = tuple(f.name for f in fields(self))
+                    for name in self._names:
+                        self._cache = getattr(self, name)
+
+                def __init__(self):
+                    self._all = [getattr(self, n) for n in fields(self)]
+            """,
+        )
+        assert findings == []
+
+    def test_getattr_outside_loop_is_clean(self):
+        findings = run_checker(
+            HotpathChecker(),
+            """
+            # athena-lint: hot-path
+            def lookup(obj):
+                return getattr(obj, "port", None)
+            """,
+        )
+        assert findings == []
+
+    def test_shipped_hot_modules_are_clean(self):
+        """match.py / flowtable.py / distdb keep their compiled fast paths."""
+        from repro.analysis import LintEngine
+
+        engine = LintEngine(checkers=[HotpathChecker()], root=REPO_ROOT)
+        report = engine.run([os.path.join(REPO_ROOT, "src", "repro")])
+        assert [f.render() for f in report.findings] == []
+
+    def test_reference_paths_carry_suppressions(self):
+        """The kept slow paths are marked, not silently exempted."""
+        match_src = open(
+            os.path.join(REPO_ROOT, "src", "repro", "openflow", "match.py"),
+            encoding="utf-8",
+        ).read()
+        assert "athena-lint: disable=ATH601" in match_src
+        assert "athena-lint: hot-path" in match_src

@@ -343,3 +343,126 @@ class TestPipelineExtras:
         )
         assert len(rows) == 2
         assert rows[0]["total"] >= rows[1]["total"]
+
+
+class TestIndexAndFastPathRegressions:
+    """Regressions from the hot-path overhaul (docs/PERF.md)."""
+
+    @pytest.fixture(params=[True, False], ids=["fast", "slow"])
+    def enabled(self, request):
+        from repro.perf import fast_path_scope
+
+        with fast_path_scope(request.param):
+            yield request.param
+
+    def test_indexed_field_pinned_to_none(self, enabled):
+        """{'field': None} must probe the index bucket, not full-scan —
+        and must return only the documents whose value IS None."""
+        coll = Collection("c")
+        coll.create_index("owner")
+        coll.insert_many(
+            [{"owner": None, "n": 1}, {"owner": "a", "n": 2}, {"owner": None, "n": 3}]
+        )
+        got = coll.find({"owner": None}, sort=[("n", 1)])
+        assert [d["n"] for d in got] == [1, 3]
+        assert sorted(d["n"] for d in coll.find({"owner": {"$eq": None}})) == [1, 3]
+
+    def test_compound_index_serves_and_filters(self, enabled):
+        coll = Collection("features")
+        coll.create_index("feature_scope", "switch_id")
+        coll.insert_many(
+            {
+                "feature_scope": ("flow", "port")[i % 2],
+                "switch_id": i % 3,
+                "n": i,
+            }
+            for i in range(12)
+        )
+        got = coll.find(
+            {"$and": [{"feature_scope": "flow"}, {"switch_id": 2}]},
+            sort=[("n", 1)],
+        )
+        assert [d["n"] for d in got] == [2, 8]
+        # Updates migrate documents between compound buckets.
+        coll.update_many({"n": 2}, {"switch_id": 1})
+        got = coll.find({"$and": [{"feature_scope": "flow"}, {"switch_id": 2}]})
+        assert [d["n"] for d in got] == [8]
+
+    def test_compound_miss_falls_back_to_scan(self, enabled):
+        """Pinning only part of the compound key still returns everything."""
+        coll = Collection("features")
+        coll.create_index("feature_scope", "switch_id")
+        coll.insert_many(
+            {"feature_scope": "flow", "switch_id": i, "n": i} for i in range(4)
+        )
+        assert len(coll.find({"feature_scope": "flow"})) == 4
+
+    def test_multi_key_sort_single_pass(self, enabled):
+        coll = Collection("c")
+        coll.insert_many(
+            [
+                {"a": 2, "b": 1, "n": 0},
+                {"a": 1, "b": 2, "n": 1},
+                {"a": 1, "b": 1, "n": 2},
+                {"a": None, "b": 9, "n": 3},
+            ]
+        )
+        ascending = coll.find(sort=[("a", 1), ("b", 1)])
+        assert [d["n"] for d in ascending] == [2, 1, 0, 3]
+        descending = coll.find(sort=[("a", -1), ("b", -1)])
+        assert [d["n"] for d in descending] == [3, 0, 1, 2]
+        mixed = coll.find(sort=[("a", 1), ("b", -1)])
+        assert [d["n"] for d in mixed] == [1, 2, 0, 3]
+
+    def test_bytes_read_identical_across_paths(self):
+        from repro.perf import fast_path_scope
+
+        def drive(flag):
+            coll = Collection("c")
+            coll.create_index("k")
+            coll.insert_many({"k": i % 3, "pad": "x" * i} for i in range(30))
+            with fast_path_scope(flag):
+                coll.find({"k": 1}, sort=[("pad", 1)], limit=2)
+                coll.find({"k": {"$gt": 0}})
+            return coll.bytes_read
+
+        assert drive(True) == drive(False)
+
+    def test_size_memo_invalidated_on_update(self):
+        """After update_many grows a doc, bytes_read reflects the new size."""
+        from repro.distdb.collection import approx_size
+        from repro.perf import fast_path_scope
+
+        coll = Collection("c")
+        coll.insert_one({"k": 1, "pad": "x"})
+        with fast_path_scope(True):
+            coll.find({"k": 1})
+            first = coll.bytes_read
+            coll.update_many({"k": 1}, {"pad": "y" * 100})
+            coll.find({"k": 1})
+        grown = coll.bytes_read - first
+        [doc] = coll.find({"k": 1})
+        assert grown == approx_size({k: v for k, v in doc.items()})
+
+    def test_find_results_are_copies(self, enabled):
+        """Zero-copy reads must still hand out private dicts."""
+        coll = Collection("c")
+        coll.insert_one({"k": 1})
+        got = coll.find({"k": 1})
+        got[0]["k"] = 999
+        assert coll.find({"k": 1})[0]["k"] == 1
+
+    def test_cluster_create_index_forwards_compound(self, enabled):
+        cluster = DatabaseCluster(n_shards=2)
+        cluster.create_index("features", "feature_scope", "switch_id")
+        for i in range(10):
+            cluster.insert_one(
+                "features",
+                {"_id": i, "feature_scope": "flow", "switch_id": i % 2, "n": i},
+            )
+        got = cluster.find(
+            "features",
+            {"$and": [{"feature_scope": "flow"}, {"switch_id": 0}]},
+            sort=[("n", 1)],
+        )
+        assert [d["n"] for d in got] == [0, 2, 4, 6, 8]

@@ -186,3 +186,155 @@ class TestPropertyBased:
             )
         table.delete(Match())
         assert len(table) == 0
+
+
+def _exact_headers(i=0, tcp_dst=80):
+    """A concrete value for every match field (exact-index territory)."""
+    return {
+        "in_port": (i % 4) + 1,
+        "eth_src": f"00:00:00:00:00:{i % 256:02x}",
+        "eth_dst": f"00:00:00:00:01:{i % 256:02x}",
+        "eth_type": 0x0800,
+        "vlan_id": 0,
+        "ip_src": f"10.0.0.{i % 256}",
+        "ip_dst": f"10.1.0.{i % 256}",
+        "ip_proto": 6,
+        "ip_tos": 0,
+        "tcp_src": 1024 + i,
+        "tcp_dst": tcp_dst,
+    }
+
+
+def _exact_entry(i=0, priority=10, tcp_dst=80, **overrides):
+    entry = FlowEntry(
+        match=Match.exact_from_headers(_exact_headers(i, tcp_dst)),
+        priority=priority,
+        actions=[ActionOutput(port=1)],
+    )
+    for name, value in overrides.items():
+        setattr(entry, name, value)
+    return entry
+
+
+@pytest.fixture(params=[True, False], ids=["fast", "slow"])
+def fast(request):
+    return request.param
+
+
+class TestFastPathSemantics:
+    """The indexed fast path keeps exact OpenFlow winner semantics."""
+
+    def test_equal_priority_exact_beats_wildcard(self, fast):
+        table = FlowTable(fast_path=fast)
+        exact = table.insert(_exact_entry(priority=10), now=0.0)
+        table.insert(_entry(priority=10, tcp_dst=80), now=0.0)
+        assert table.lookup(_exact_headers()) is exact
+
+    def test_exact_shadowed_by_higher_priority_wildcard(self, fast):
+        table = FlowTable(fast_path=fast)
+        exact = table.insert(_exact_entry(priority=10), now=0.0)
+        shadow = table.insert(_entry(priority=20, tcp_dst=80), now=0.0)
+        assert table.lookup(_exact_headers()) is shadow
+        # A probe the wildcard does not cover still reaches the exact entry.
+        assert table.lookup(_exact_headers(tcp_dst=81)) is None
+        table.delete(Match(tcp_dst=80), priority=20, strict=True)
+        assert table.lookup(_exact_headers()) is exact
+
+    def test_wildcard_between_exact_priorities(self, fast):
+        table = FlowTable(fast_path=fast)
+        table.insert(_exact_entry(priority=5), now=0.0)
+        high = table.insert(_exact_entry(priority=30), now=0.0)
+        table.insert(_entry(priority=20, tcp_dst=80), now=0.0)
+        assert table.lookup(_exact_headers()) is high
+
+    def test_expiry_order_follows_precedence(self, fast):
+        table = FlowTable(fast_path=fast)
+        entries = []
+        for i, priority in enumerate((5, 50, 20)):
+            entry = _exact_entry(i, priority=priority, hard_timeout=1.0)
+            entries.append(table.insert(entry, now=0.0))
+        expired = table.expire(2.0)
+        assert [e for e, _reason in expired] == sorted(
+            entries, key=FlowEntry.sort_key
+        )
+        assert {reason for _e, reason in expired} == {
+            FlowRemovedReason.HARD_TIMEOUT
+        }
+        assert len(table) == 0
+
+    def test_heap_reschedules_after_idle_refresh(self, fast):
+        table = FlowTable(fast_path=fast)
+        entry = table.insert(_exact_entry(idle_timeout=2.0), now=0.0)
+        assert table.expire(1.5) == []
+        entry.stats.record(100, now=1.5)
+        # The original deadline (2.0) passes without eviction...
+        assert table.expire(2.5) == []
+        # ...and the refreshed one fires.
+        assert table.expire(3.6) == [(entry, FlowRemovedReason.IDLE_TIMEOUT)]
+
+    def test_expired_entry_not_returned_by_lookup(self, fast):
+        table = FlowTable(fast_path=fast)
+        table.insert(_exact_entry(hard_timeout=1.0), now=0.0)
+        table.expire(2.0)
+        assert table.lookup(_exact_headers()) is None
+
+    def test_strict_modify_after_insert_keeps_order(self, fast):
+        table = FlowTable(fast_path=fast)
+        exact = table.insert(_exact_entry(priority=10), now=0.0)
+        table.insert(_entry(priority=5, tcp_dst=80), now=0.0)
+        touched = table.modify(
+            exact.match, [ActionDrop()], priority=10, strict=True
+        )
+        assert touched == 1
+        assert exact.actions == [ActionDrop()]
+        winner = table.lookup(_exact_headers())
+        assert winner is exact
+        # Subsequent inserts still land in precedence order.
+        high = table.insert(_exact_entry(1, priority=90), now=1.0)
+        assert table.lookup(_exact_headers(1)) is high
+        assert table.entries == sorted(table.entries, key=FlowEntry.sort_key)
+
+    def test_strict_modify_misses_other_priority(self, fast):
+        table = FlowTable(fast_path=fast)
+        exact = table.insert(_exact_entry(priority=10), now=0.0)
+        assert (
+            table.modify(exact.match, [ActionDrop()], priority=11, strict=True)
+            == 0
+        )
+        assert exact.actions == [ActionOutput(port=1)]
+
+
+class TestPathEquivalence:
+    """Fast and reference tables agree on a mixed workload."""
+
+    @staticmethod
+    def _drive(fast):
+        table = FlowTable(fast_path=fast)
+        for i in range(20):
+            table.insert(
+                _exact_entry(i, priority=10 + (i % 3), hard_timeout=float(i % 5)),
+                now=0.0,
+            )
+        table.insert(_entry(priority=12, tcp_dst=80), now=0.0)
+        table.insert(_entry(priority=1), now=0.0)
+        winners = []
+        for i in range(25):
+            entry = table.lookup(_exact_headers(i))
+            winners.append(
+                None
+                if entry is None
+                else (entry.priority, entry.match.key_tuple())
+            )
+        evicted = [
+            (entry.priority, entry.match.key_tuple(), reason)
+            for entry, reason in table.expire(3.5)
+        ]
+        table.delete(Match(tcp_dst=80))
+        remaining = [
+            (entry.priority, entry.match.key_tuple())
+            for entry in table.entries
+        ]
+        return winners, evicted, remaining, table.lookup_count, table.matched_count
+
+    def test_identical_outcomes(self):
+        assert self._drive(True) == self._drive(False)

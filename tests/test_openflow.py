@@ -52,6 +52,50 @@ class TestMatch:
         assert not wide.is_subset_of(narrow)
         assert narrow.is_subset_of(Match())
 
+    def test_compiled_and_reference_paths_agree(self):
+        from repro.perf import fast_path_scope
+
+        match = Match(ip_src="10.0.0.1", ip_proto=6, tcp_dst=80)
+        probes = [
+            {"ip_src": "10.0.0.1", "ip_proto": 6, "tcp_dst": 80},
+            {"ip_src": "10.0.0.1", "ip_proto": 6, "tcp_dst": 81},
+            {"ip_src": "10.0.0.1"},
+            {},
+        ]
+        with fast_path_scope(True):
+            fast = [match.matches(h) for h in probes]
+        with fast_path_scope(False):
+            slow = [match.matches(h) for h in probes]
+        assert fast == slow == [True, False, False, False]
+
+    def test_pickle_and_deepcopy_recompile(self):
+        import copy
+        import pickle
+
+        match = Match(ip_src="10.0.0.1", tcp_dst=80)
+        for clone in (pickle.loads(pickle.dumps(match)), copy.deepcopy(match)):
+            assert clone == match
+            assert hash(clone) == hash(match)
+            assert clone.matches({"ip_src": "10.0.0.1", "tcp_dst": 80})
+            assert not clone.matches({"ip_src": "10.0.0.2", "tcp_dst": 80})
+            assert clone.key_tuple() == match.key_tuple()
+
+    def test_key_tuple_follows_field_order(self):
+        match = Match(in_port=3, tcp_dst=80)
+        key = match.key_tuple()
+        assert len(key) == len(MATCH_FIELDS)
+        assert key[MATCH_FIELDS.index("in_port")] == 3
+        assert key[MATCH_FIELDS.index("tcp_dst")] == 80
+        assert all(
+            key[i] is None
+            for i, name in enumerate(MATCH_FIELDS)
+            if name not in ("in_port", "tcp_dst")
+        )
+
+    def test_to_dict_only_set_fields(self):
+        assert Match(ip_proto=6).to_dict() == {"ip_proto": 6}
+        assert Match().to_dict() == {}
+
     def test_from_dict_rejects_unknown(self):
         with pytest.raises(OpenFlowError):
             Match.from_dict({"bogus": 1})
