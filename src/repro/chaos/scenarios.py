@@ -1,0 +1,270 @@
+"""Canned detection scenarios run under fault plans.
+
+Each scenario builds a full Athena stack (two controller instances, three
+DB shards, compute cluster), drives attack + benign traffic on the sim
+clock, runs detection, and returns a :class:`ScenarioResult` carrying the
+detection outcome *and* the deterministic telemetry snapshot.  The
+determinism contract (docs/CHAOS.md): calling :func:`run_scenario` twice
+with the same ``(scenario, plan, seed)`` produces byte-identical
+``snapshot_json`` — chaos included.
+
+``RECALL_TOLERANCE`` is the documented allowance for how much detection
+recall may drop under any canned fault plan relative to the no-fault
+baseline; the conformance suite (``tests/test_chaos_scenarios.py``)
+asserts it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro import telemetry
+from repro.chaos.controller import ChaosController
+from repro.chaos.plan import FaultPlan
+from repro.errors import ChaosError
+
+#: Maximum recall a canned fault plan may cost relative to the no-fault
+#: baseline (documented in docs/CHAOS.md).
+RECALL_TOLERANCE = 0.25
+
+SCENARIOS = ("portscan", "ddos")
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario run (detection + fault + telemetry state)."""
+
+    scenario: str
+    plan: str
+    seed: int
+    detected: bool
+    recall: float
+    attacker_ip: str
+    flagged_ips: List[str]
+    faults_applied: int = 0
+    faults_skipped: int = 0
+    recoveries: int = 0
+    degraded_rounds: int = 0
+    rounds_recovered: int = 0
+    pending_writes: int = 0
+    chaos_log: List[str] = field(default_factory=list)
+    snapshot: Dict[str, Any] = field(default_factory=dict)
+    snapshot_json: str = ""
+
+
+def run_scenario(
+    scenario: str,
+    plan: Optional[FaultPlan] = None,
+    seed: int = 0,
+    duration: Optional[float] = None,
+) -> ScenarioResult:
+    """Run one canned scenario, optionally under a fault plan.
+
+    Telemetry is force-enabled for the run (fresh facade, so instrument
+    state starts from zero) and reset afterwards; the deterministic
+    snapshot lands in the result.
+    """
+    if scenario not in SCENARIOS:
+        raise ChaosError(
+            f"unknown scenario {scenario!r}; known: {', '.join(SCENARIOS)}"
+        )
+    runner = _run_portscan if scenario == "portscan" else _run_ddos
+    horizon = duration
+    if horizon is None:
+        horizon = 12.0 if plan is None else max(12.0, plan.horizon() + 4.0)
+    tel = telemetry.configure(enabled=True)
+    try:
+        result = runner(plan, seed, horizon)
+        result.snapshot = tel.snapshot(deterministic_only=True)
+        result.snapshot_json = telemetry.to_json(result.snapshot)
+        return result
+    finally:
+        telemetry.reset_telemetry()
+
+
+def _build_stack():
+    """The shared scenario stack: 3 switches, 2 instances, 3 shards."""
+    from repro.controller import ControllerCluster, ReactiveForwarding
+    from repro.core import AthenaDeployment
+    from repro.dataplane.topologies import linear_topology
+    from repro.workloads.flows import TrafficSchedule
+
+    topo = linear_topology(n_switches=3, hosts_per_switch=2)
+    cluster = ControllerCluster(topo.network, n_instances=2)
+    cluster.adopt_all()
+    cluster.start(poll=False)
+    forwarding = ReactiveForwarding()
+    forwarding.activate(cluster)
+    athena = AthenaDeployment(cluster, athena_poll_interval=1.0)
+    athena.start()
+    schedule = TrafficSchedule(topo.network)
+    schedule.prime_arp()
+    return topo, athena, schedule
+
+
+def _arm_chaos(athena, plan: Optional[FaultPlan], seed: int):
+    if plan is None:
+        return None
+    chaos = ChaosController(athena, plan, seed=seed)
+    chaos.arm()
+    return chaos
+
+
+def _finish(result: ScenarioResult, athena, chaos) -> ScenarioResult:
+    result.degraded_rounds = athena.detector_manager.degraded_rounds
+    result.rounds_recovered = athena.detector_manager.rounds_recovered
+    result.pending_writes = athena.feature_manager.pending_writes
+    if chaos is not None:
+        result.faults_applied = chaos.faults_injected
+        result.faults_skipped = chaos.faults_skipped
+        result.recoveries = chaos.recoveries
+        result.chaos_log = list(chaos.log)
+    return result
+
+
+def _run_portscan(
+    plan: Optional[FaultPlan], seed: int, horizon: float
+) -> ScenarioResult:
+    """Port scan caught by a threshold on ``SRC_FLOW_FANOUT``."""
+    from repro.core import GenerateQuery
+    from repro.core.algorithm import GenerateAlgorithm
+    from repro.core.preprocessor import GeneratePreprocessor
+    from repro.workloads.flows import FlowSpec
+
+    topo, athena, schedule = _build_stack()
+    chaos = _arm_chaos(athena, plan, seed)
+    scanner = topo.network.hosts["h1"]
+    normal = topo.network.hosts["h2"]
+    # The scan crosses both inter-switch links (h1 on s1 -> h5 on s3), so
+    # link faults sit right on the attack path.
+    for port in range(30):
+        schedule.add_flow(
+            FlowSpec(src_host="h1", dst_host="h5", sport=52000 + port,
+                     dport=1000 + port, packet_size=64, rate_pps=4.0,
+                     start=1.0 + port * 0.05, duration=1.5)
+        )
+    schedule.add_flow(
+        FlowSpec(src_host="h2", dst_host="h6", sport=33000, dport=80,
+                 rate_pps=10.0, start=1.0, duration=6.0, bidirectional=True)
+    )
+    topo.network.sim.run(until=horizon)
+
+    query = GenerateQuery("feature_scope == flow && FLOW_PACKET_COUNT > 0")
+    preprocessor = GeneratePreprocessor(
+        normalization=None, features=["SRC_FLOW_FANOUT"]
+    )
+    algorithm = GenerateAlgorithm("threshold", column=0, threshold=10.0)
+    model = athena.northbound.GenerateDetectionModel(
+        query, preprocessor, algorithm
+    )
+    documents = athena.northbound.RequestFeatures(query)
+    matrix, _, docs = model.preprocessor.transform(documents)
+    predictions = model.estimator.predict(matrix)
+    flagged = sorted(
+        {
+            doc.get("ip_src")
+            for doc, verdict in zip(docs, predictions)
+            if verdict and doc.get("ip_src")
+        }
+    )
+    scanner_docs = [d for d in docs if d.get("ip_src") == scanner.ip]
+    scanner_hits = [
+        d
+        for d, verdict in zip(docs, predictions)
+        if verdict and d.get("ip_src") == scanner.ip
+    ]
+    recall = len(scanner_hits) / len(scanner_docs) if scanner_docs else 0.0
+    result = ScenarioResult(
+        scenario="portscan",
+        plan=plan.name if plan is not None else "",
+        seed=seed,
+        detected=scanner.ip in flagged and normal.ip not in flagged,
+        recall=recall,
+        attacker_ip=scanner.ip,
+        flagged_ips=flagged,
+    )
+    return _finish(result, athena, chaos)
+
+
+def _run_ddos(
+    plan: Optional[FaultPlan], seed: int, horizon: float
+) -> ScenarioResult:
+    """Live DDoS detection (K-Means trained offline) under faults."""
+    from repro.core import GenerateQuery
+    from repro.core.algorithm import GenerateAlgorithm
+    from repro.core.preprocessor import GeneratePreprocessor
+    from repro.workloads.ddos import DDoSDatasetGenerator, DDoSDatasetSpec
+    from repro.workloads.flows import FlowSpec
+
+    topo, athena, schedule = _build_stack()
+    chaos = _arm_chaos(athena, plan, seed)
+    attacker = topo.network.hosts["h2"]
+    documents = DDoSDatasetGenerator(DDoSDatasetSpec(scale=0.0005)).generate()
+    preprocessor = GeneratePreprocessor(
+        normalization="minmax",
+        marking="label",
+        features=[
+            "FLOW_PACKET_COUNT",
+            "FLOW_BYTE_PER_PACKET",
+            "FLOW_PACKET_PER_DURATION",
+            "PAIR_FLOW",
+        ],
+    )
+    model = athena.detector_manager.generate_detection_model(
+        GenerateQuery(),
+        preprocessor,
+        GenerateAlgorithm("kmeans", k=6, max_iterations=15, runs=2, seed=1),
+        documents=documents,
+    )
+    live_query = GenerateQuery("feature_scope == flow && FLOW_PACKET_COUNT > 0")
+    verdicts: List = []
+    validator_id = athena.northbound.add_online_validator(
+        model.preprocessor,
+        model,
+        lambda feature, verdict: verdicts.append(
+            (feature.indicators.get("ip_src"), verdict)
+        ),
+        query=live_query,
+    )
+    del validator_id
+    # Periodic batch rounds exercise the skip-and-flag degradation path
+    # while the store is failing underneath.
+    sim = topo.network.sim
+    sim.every(
+        2.0,
+        lambda: athena.detector_manager.poll_round(
+            live_query, model.preprocessor, model
+        ),
+    )
+    # One-way small-packet flood (h2 on s1 -> h6 on s3) plus benign
+    # paired traffic on the same path.
+    schedule.add_flow(
+        FlowSpec(src_host="h2", dst_host="h6", sport=50001, dport=80,
+                 packet_size=64, rate_pps=150.0, start=1.0,
+                 duration=max(6.0, horizon - 4.0))
+    )
+    schedule.add_flow(
+        FlowSpec(src_host="h1", dst_host="h5", rate_pps=10.0, start=1.0,
+                 duration=5.0, bidirectional=True)
+    )
+    sim.run(until=horizon)
+
+    attacker_samples = [v for ip, v in verdicts if ip == attacker.ip]
+    attacker_alerts = [v for v in attacker_samples if v]
+    recall = (
+        len(attacker_alerts) / len(attacker_samples)
+        if attacker_samples
+        else 0.0
+    )
+    flagged = sorted({ip for ip, v in verdicts if v and ip})
+    result = ScenarioResult(
+        scenario="ddos",
+        plan=plan.name if plan is not None else "",
+        seed=seed,
+        detected=attacker.ip in flagged,
+        recall=recall,
+        attacker_ip=attacker.ip,
+        flagged_ips=flagged,
+    )
+    return _finish(result, athena, chaos)

@@ -193,6 +193,42 @@ def _render_metrics(args: argparse.Namespace, snapshot) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import FaultPlan, canned_plan, canned_plan_names
+    from repro.chaos.scenarios import RECALL_TOLERANCE, run_scenario
+
+    if args.list_plans:
+        for name in canned_plan_names():
+            plan = canned_plan(name)
+            print(f"{name:20s} {len(plan)} events, horizon {plan.horizon():.1f}s")
+        return 0
+    if args.plan_file:
+        plan = FaultPlan.load(args.plan_file)
+    elif args.plan:
+        plan = canned_plan(args.plan)
+    else:
+        plan = None
+    result = run_scenario(
+        args.scenario, plan=plan, seed=args.seed, duration=args.duration
+    )
+    print(f"scenario : {result.scenario}")
+    print(f"plan     : {result.plan or '(none)'}  seed={result.seed}")
+    print(f"detected : {result.detected}  recall={result.recall:.3f}  "
+          f"(tolerance {RECALL_TOLERANCE})")
+    print(f"faults   : applied={result.faults_applied} "
+          f"skipped={result.faults_skipped} recoveries={result.recoveries}")
+    print(f"degraded : rounds={result.degraded_rounds} "
+          f"recovered={result.rounds_recovered} "
+          f"pending_writes={result.pending_writes}")
+    for line in result.chaos_log:
+        print(f"  {line}")
+    if args.snapshot:
+        with open(args.snapshot, "w", encoding="utf-8") as handle:
+            handle.write(result.snapshot_json)
+        print(f"snapshot : {args.snapshot} ({len(result.snapshot_json)} bytes)")
+    return 0 if result.detected else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import (
         JsonReporter,
@@ -275,6 +311,27 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--deterministic", action="store_true",
                          help="drop wall-time metrics from the snapshot")
     metrics.set_defaults(handler=_cmd_metrics)
+
+    chaos = commands.add_parser(
+        "chaos", help="run a detection scenario under a fault plan"
+    )
+    chaos.add_argument("--scenario", choices=["portscan", "ddos"],
+                       default="ddos", help="detection scenario to run")
+    chaos.add_argument("--plan", default=None,
+                       help="canned fault plan name (see --list-plans)")
+    chaos.add_argument("--plan-file", default=None,
+                       help="JSON fault-plan file (FaultPlan.save format)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="chaos RNG seed (same plan + seed replays "
+                            "byte-identically)")
+    chaos.add_argument("--duration", type=float, default=None,
+                       help="sim horizon override in seconds")
+    chaos.add_argument("--snapshot", default=None,
+                       help="write the deterministic telemetry snapshot "
+                            "JSON to this path")
+    chaos.add_argument("--list-plans", action="store_true",
+                       help="list canned fault plans and exit")
+    chaos.set_defaults(handler=_cmd_chaos)
 
     lint = commands.add_parser(
         "lint", help="athena-lint: framework-aware static analysis"

@@ -27,13 +27,14 @@ from repro.compute.backends import (
 )
 from repro.compute.cluster import ClusterConfig, ComputeCluster, JobReport
 from repro.compute.partition import PartitionedDataset
-from repro.compute.worker import Worker
+from repro.compute.worker import InjectedWorkerCrash, Worker
 
 __all__ = [
     "BACKEND_ENV_VAR",
     "ClusterConfig",
     "ComputeCluster",
     "ExecutionBackend",
+    "InjectedWorkerCrash",
     "JobReport",
     "PartitionedDataset",
     "ProcessBackend",

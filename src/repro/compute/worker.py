@@ -25,6 +25,16 @@ from repro.errors import ComputeError
 from repro.telemetry.clocks import Stopwatch
 
 
+class InjectedWorkerCrash(RuntimeError):
+    """A chaos-injected worker crash.
+
+    Deliberately *not* a :class:`~repro.errors.ComputeError`: the
+    execution backends treat ComputeError as fatal but retry arbitrary
+    task exceptions on another worker, which is exactly the failover path
+    a crash should exercise.
+    """
+
+
 class Worker:
     """One executor node (driver-side accounting record)."""
 
@@ -32,6 +42,12 @@ class Worker:
         self.worker_id = worker_id
         self.busy_seconds = 0.0
         self.tasks_run = 0
+        self.injected_crashes = 0
+        self.crashes_fired = 0
+
+    def inject_crashes(self, count: int = 1) -> None:
+        """Arm the next ``count`` tasks on this worker to crash."""
+        self.injected_crashes += int(count)
 
     def execute(self, fn: Callable[[Any], Any], payload: Any) -> Tuple[Any, float]:
         """Run a task, returning (result, measured seconds).
@@ -41,6 +57,12 @@ class Worker:
         """
         watch = Stopwatch()
         try:
+            if self.injected_crashes > 0:
+                self.injected_crashes -= 1
+                self.crashes_fired += 1
+                raise InjectedWorkerCrash(
+                    f"worker {self.worker_id} crashed (injected fault)"
+                )
             result = fn(payload)
         finally:
             elapsed = watch.elapsed()
@@ -53,6 +75,7 @@ class Worker:
         self.tasks_run += 1
 
     def reset(self) -> None:
+        """Per-job accounting reset; armed chaos crashes survive it."""
         self.busy_seconds = 0.0
         self.tasks_run = 0
 

@@ -53,6 +53,8 @@ class ControllerCluster:
             ControllerInstance(i, self.sim, poll_interval=poll_interval)
             for i in range(n_instances)
         ]
+        #: Instances currently marked failed (failover skips them).
+        self.down_instances: set = set()
         for instance in self.instances:
             self._bridge_bus(instance)
 
@@ -141,13 +143,29 @@ class ControllerCluster:
     def fail_instance(self, instance_id: int) -> List[Dpid]:
         """Simulate an instance failure: all its switches fail over."""
         failed = self.instance(instance_id)
+        self.down_instances.add(instance_id)
         moved: List[Dpid] = []
         for dpid in list(failed.switches):
             switch = failed.disconnect_switch(dpid)
-            new_master = self.mastership.failover(dpid)
+            new_master = self.mastership.failover(
+                dpid, exclude=self.down_instances
+            )
             self.instance(new_master).connect_switch(switch)
             moved.append(dpid)
         return moved
+
+    def recover_instance(self, instance_id: int) -> ControllerInstance:
+        """Rejoin a failed instance as a standby for every switch.
+
+        The instance does not reclaim mastership — as in ONOS, a
+        recovered member waits for the next failover (or an explicit
+        rebalance) before mastering devices again.
+        """
+        instance = self.instance(instance_id)
+        self.down_instances.discard(instance_id)
+        for dpid in self.network.switches:
+            self.mastership.add_standby(dpid, instance_id)
+        return instance
 
     def summary(self) -> Dict[str, int]:
         return {

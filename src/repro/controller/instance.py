@@ -40,6 +40,14 @@ from repro.types import Dpid
 
 MessageTap = Callable[[OpenFlowMessage, MessageDirection, int], None]
 
+#: Chaos channel filter: ``(dpid, msg, direction) -> verdict``.  ``None``
+#: delivers normally; ``[]`` drops the message; ``[delay, ...]`` delivers
+#: one copy per entry, each after its delay (0 = immediately) — so
+#: ``[0.0, 0.0]`` duplicates and ``[0.05]`` delays.
+FaultFilter = Callable[
+    [Dpid, OpenFlowMessage, MessageDirection], Optional[List[float]]
+]
+
 
 class ControllerInstance:
     """One ONOS-like controller instance in the cluster."""
@@ -56,6 +64,7 @@ class ControllerInstance:
         self.switches: Dict[Dpid, OpenFlowSwitch] = {}
         self.poller = StatsPoller(sim, self.send, interval=poll_interval)
         self._taps: List[MessageTap] = []
+        self._fault_filter: Optional[FaultFilter] = None
         # Counters used by the Cbench and CPU-usage experiments.
         self.messages_from_switches = 0
         self.messages_to_switches = 0
@@ -83,6 +92,15 @@ class ControllerInstance:
             "athena_southbound_stats_replies_total",
             "StatsReply messages dispatched onto the event bus.",
         )
+        faults = registry.counter(
+            "athena_chaos_southbound_total",
+            "Southbound messages affected by injected channel faults.",
+            labelnames=("action",),
+        )
+        self._metric_fault_dropped = faults.labels(action="dropped")
+        self._metric_fault_delayed = faults.labels(action="delayed")
+        self._metric_fault_duplicated = faults.labels(action="duplicated")
+        self._metric_fault_expired = faults.labels(action="expired")
 
     # -- wiring ------------------------------------------------------------
 
@@ -110,6 +128,15 @@ class ControllerInstance:
         if tap in self._taps:
             self._taps.remove(tap)
 
+    def set_fault_filter(self, fault_filter: Optional[FaultFilter]) -> None:
+        """Install (or clear, with ``None``) the chaos channel filter.
+
+        The filter models the control channel between this instance and
+        its switches: it sees every message after the controller-side taps
+        and decides whether the channel drops, delays, or duplicates it.
+        """
+        self._fault_filter = fault_filter
+
     # -- message paths -------------------------------------------------------
 
     def send(self, dpid: Dpid, msg: OpenFlowMessage) -> None:
@@ -124,13 +151,59 @@ class ControllerInstance:
         self._metric_to_switch.inc()
         for tap in self._taps:
             tap(msg, MessageDirection.TO_SWITCH, self.instance_id)
+        verdict = None
+        if self._fault_filter is not None:
+            verdict = self._fault_filter(dpid, msg, MessageDirection.TO_SWITCH)
+        if verdict is None:
+            switch.handle_message(msg, self.sim.now)
+            return
+        self._apply_verdict(
+            verdict, lambda m=msg, d=dpid: self._deliver_to_switch(d, m)
+        )
+
+    def _deliver_to_switch(self, dpid: Dpid, msg: OpenFlowMessage) -> None:
+        """Late channel delivery; mastership may have moved in flight."""
+        switch = self.switches.get(dpid)
+        if switch is None:
+            self._metric_fault_expired.inc()
+            return
         switch.handle_message(msg, self.sim.now)
+
+    def _apply_verdict(
+        self, verdict: List[float], deliver: Callable[[], None]
+    ) -> None:
+        """Execute a fault-filter verdict: drop, delay, or duplicate."""
+        if not verdict:
+            self._metric_fault_dropped.inc()
+            return
+        if len(verdict) > 1:
+            self._metric_fault_duplicated.inc(len(verdict) - 1)
+        for delay in verdict:
+            if delay <= 0:
+                deliver()
+            else:
+                self._metric_fault_delayed.inc()
+                self.sim.after(delay, deliver)
 
     def mark_athena_xid(self, xid: int) -> None:
         """Expose the paper's XID-marking hook to the Athena proxy."""
         self.poller.mark_xid(xid, ISSUER_ATHENA)
 
     def _on_switch_message(self, msg: OpenFlowMessage) -> None:
+        """Channel entry for switch → controller messages."""
+        verdict = None
+        if self._fault_filter is not None:
+            verdict = self._fault_filter(
+                msg.dpid, msg, MessageDirection.FROM_SWITCH
+            )
+        if verdict is None:
+            self._process_switch_message(msg)
+            return
+        self._apply_verdict(
+            verdict, lambda m=msg: self._process_switch_message(m)
+        )
+
+    def _process_switch_message(self, msg: OpenFlowMessage) -> None:
         """Switch → controller delivery: tap, then dispatch as events."""
         self.messages_from_switches += 1
         self._metric_from_switch.inc()

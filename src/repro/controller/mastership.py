@@ -37,12 +37,37 @@ class MastershipService:
     def switches_of(self, instance_id: int) -> List[Dpid]:
         return sorted(d for d, m in self._master.items() if m == instance_id)
 
-    def failover(self, dpid: Dpid) -> int:
-        """Promote the first standby to master (instance failure handling)."""
+    def add_standby(self, dpid: Dpid, instance_id: int) -> None:
+        """Register an instance as a failover candidate for a switch.
+
+        Used when a failed instance rejoins the cluster: it becomes
+        eligible again without disturbing the current master.  No-op if
+        the instance already masters or stands by for the switch.
+        """
+        if self._master.get(dpid) == instance_id:
+            return
+        standbys = self._standbys.setdefault(dpid, [])
+        if instance_id not in standbys:
+            standbys.append(instance_id)
+
+    def standbys_of(self, dpid: Dpid) -> List[int]:
+        return list(self._standbys.get(dpid, []))
+
+    def failover(self, dpid: Dpid, exclude: Optional[set] = None) -> int:
+        """Promote the first eligible standby to master.
+
+        ``exclude`` names instances that must not be promoted (instances
+        the cluster knows are down), mirroring how a real mastership store
+        only elects reachable members.
+        """
         standbys = self._standbys.get(dpid, [])
-        if not standbys:
+        candidates = [
+            s for s in standbys if exclude is None or s not in exclude
+        ]
+        if not candidates:
             raise ControllerError(f"no standby available for dpid {dpid}")
-        new_master = standbys.pop(0)
+        new_master = candidates[0]
+        standbys.remove(new_master)
         old = self._master.get(dpid)
         if old is not None:
             standbys.append(old)

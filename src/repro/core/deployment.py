@@ -27,7 +27,7 @@ from repro.core.resource_manager import ResourceManager
 from repro.core.southbound import SouthboundElement
 from repro.core.ui_manager import UIManager
 from repro.distdb import DatabaseCluster
-from repro.errors import AthenaError
+from repro.errors import AthenaError, ControllerError
 from repro.telemetry import get_telemetry
 
 
@@ -97,8 +97,10 @@ class AthenaDeployment:
         # Spans record deterministic sim-clock durations alongside wall time.
         sim = cluster.network.sim
         get_telemetry().set_sim_time_source(lambda: sim.now)
+        # The sim scheduler arms the feature manager's retry queue, so DB
+        # outages buffer feature writes instead of failing the pipeline.
         self.feature_manager = FeatureManager(
-            self.database, store_features=store_features
+            self.database, store_features=store_features, scheduler=sim
         )
         self.instances: List[AthenaInstance] = []
         network = cluster.network
@@ -164,7 +166,12 @@ class AthenaDeployment:
         return max(speeds) if speeds else 1e9
 
     def _reactor_for(self, dpid: int):
-        master = self.cluster.mastership.master_of(dpid)
+        try:
+            master = self.cluster.mastership.master_of(dpid)
+        except ControllerError:
+            # No master (never adopted, or mid-failover with no standby):
+            # the reaction manager turns None into a typed ReactionError.
+            return None
         for instance in self.instances:
             if instance.instance_id == master:
                 return instance.reactor

@@ -24,7 +24,7 @@ from repro.core.feature_manager import FeatureManager
 from repro.core.preprocessor import Preprocessor
 from repro.core.query import Query
 from repro.core.results import ClusterReport, ValidationSummary
-from repro.errors import AthenaError
+from repro.errors import AthenaError, DatabaseError
 from repro.ml.base import ClusteringModel, Estimator
 from repro.telemetry import Stopwatch, get_telemetry
 
@@ -71,6 +71,12 @@ class DetectorManager:
         self._validator_ids = 0
         self.models_generated = 0
         self.validations_run = 0
+        #: Poll rounds skipped because the feature store was unreachable
+        #: or returned nothing (graceful degradation, not failure).
+        self.degraded_rounds = 0
+        #: Times a poll round succeeded right after a degraded streak.
+        self.rounds_recovered = 0
+        self._degraded_streak = 0
         #: JobReport of the most recent distributed validation (None when
         #: the last validation ran on a single instance).
         self.last_job_report = None
@@ -91,6 +97,17 @@ class DetectorManager:
         self._metric_validation_seconds = registry.histogram(
             "athena_detector_validation_seconds",
             "Wall seconds per batch validation.",
+        )
+        degraded = registry.counter(
+            "athena_detector_degraded_rounds_total",
+            "Poll rounds skipped-and-flagged instead of failing, by reason.",
+            labelnames=("reason",),
+        )
+        self._metric_degraded_db = degraded.labels(reason="database")
+        self._metric_degraded_empty = degraded.labels(reason="no_features")
+        self._metric_recovered = registry.counter(
+            "athena_detector_recovered_total",
+            "Successful poll rounds immediately following a degraded streak.",
         )
 
     # -- model generation ------------------------------------------------------
@@ -197,6 +214,45 @@ class DetectorManager:
             self._metric_validation_seconds.observe(summary.elapsed_seconds)
             self.last_job_report = job_report
             return summary
+
+    def poll_round(
+        self,
+        query: Query,
+        preprocessor: Preprocessor,
+        model: DetectionModel,
+        backend: Optional[str] = None,
+    ) -> Optional[ValidationSummary]:
+        """One periodic detection round with graceful degradation.
+
+        Unlike :meth:`validate_features`, a round that cannot reach the
+        feature store (``DatabaseError``) or finds nothing to validate is
+        *skipped and flagged* — counted in
+        ``athena_detector_degraded_rounds_total`` and returned as ``None``
+        — instead of raising into the scheduler.  The first successful
+        round after a degraded streak bumps
+        ``athena_detector_recovered_total``.
+        """
+        try:
+            documents = self.feature_manager.request_features(query)
+        except DatabaseError:
+            self._flag_degraded(self._metric_degraded_db)
+            return None
+        if not documents:
+            self._flag_degraded(self._metric_degraded_empty)
+            return None
+        summary = self.validate_features(
+            query, preprocessor, model, documents=documents, backend=backend
+        )
+        if self._degraded_streak:
+            self._degraded_streak = 0
+            self.rounds_recovered += 1
+            self._metric_recovered.inc()
+        return summary
+
+    def _flag_degraded(self, metric) -> None:
+        self.degraded_rounds += 1
+        self._degraded_streak += 1
+        metric.inc()
 
     def _summarise(
         self,

@@ -18,6 +18,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.chaos.retry import RetryPolicy, RetryQueue
 from repro.core.feature_format import INDEX_KEYS, AthenaFeature
 from repro.core.features.catalog import FEATURE_CATALOG
 from repro.core.query import Query
@@ -48,9 +49,21 @@ class FeatureManager:
         self,
         database: DatabaseCluster,
         store_features: bool = True,
+        scheduler=None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.database = database
         self.store_features = store_features
+        # With a simulator scheduler, feature-store writes that hit a
+        # DatabaseError are buffered and retried with backoff instead of
+        # failing the publish — live delivery keeps flowing either way.
+        self._retry: Optional[RetryQueue] = None
+        if scheduler is not None:
+            self._retry = RetryQueue(
+                scheduler,
+                retry_policy or RetryPolicy(),
+                name="feature_writes",
+            )
         self._delivery_table: List[_DeliveryEntry] = []
         self._entry_ids = itertools.count(1)
         self.features_published = 0
@@ -82,12 +95,23 @@ class FeatureManager:
     # -- southbound-facing ---------------------------------------------------
 
     def publish(self, feature: AthenaFeature) -> None:
-        """Store a feature and deliver it to matching handlers."""
+        """Store a feature and deliver it to matching handlers.
+
+        With a retry queue armed, a database failure buffers the write
+        (retried on the sim clock, never dropped) and the feature is still
+        delivered to live handlers — detection degrades gracefully rather
+        than stalling on the store.
+        """
         self.features_published += 1
         self._metric_published.inc()
         doc = feature.to_document()
         if self.store_features:
-            self.database.insert_one(FEATURE_COLLECTION, doc)
+            if self._retry is not None:
+                self._retry.submit(
+                    lambda d=doc: self.database.insert_one(FEATURE_COLLECTION, d)
+                )
+            else:
+                self.database.insert_one(FEATURE_COLLECTION, doc)
         for entry in self._delivery_table:
             if entry.query.matches(doc):
                 entry.delivered += 1
@@ -155,3 +179,14 @@ class FeatureManager:
     def clear_features(self) -> int:
         """Drop every stored feature (test and bench housekeeping)."""
         return self.database.delete_many(FEATURE_COLLECTION, None)
+
+    # -- write buffering -----------------------------------------------------
+
+    @property
+    def pending_writes(self) -> int:
+        """Feature-store writes buffered by the retry queue."""
+        return self._retry.pending if self._retry is not None else 0
+
+    def flush_pending(self) -> int:
+        """Retry buffered writes immediately; returns commits achieved."""
+        return self._retry.flush() if self._retry is not None else 0

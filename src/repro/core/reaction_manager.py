@@ -88,12 +88,18 @@ class ReactionManager:
             reactor = self._reactor_lookup(dpid)
             if reactor is None:
                 raise ReactionError(f"no Athena reactor covers switch {dpid}")
+            # Pin the rule to this dpid: the reactor would otherwise fan
+            # out to every switch it owns, duplicating rules across the
+            # enforcement loop.
             if isinstance(reaction, QuarantineReaction):
                 if not reaction.honeypot_ip:
                     raise ReactionError("quarantine reaction needs a honeypot_ip")
                 rules += reactor.quarantine(
-                    ip, reaction.honeypot_ip, priority=reaction.priority
+                    ip, reaction.honeypot_ip, dpid=dpid,
+                    priority=reaction.priority,
                 )
             else:
-                rules += reactor.block(ip, priority=reaction.priority)
+                rules += reactor.block(
+                    ip, dpid=dpid, priority=reaction.priority
+                )
         return rules

@@ -20,11 +20,12 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.chaos.retry import RetryPolicy
 from repro.compute import ComputeCluster, PartitionedDataset
 from repro.controller.events import FlowRemovedEvent, PacketInEvent, StatsEvent
 from repro.controller.instance import ControllerInstance
 from repro.core.generator import FeatureGenerator
-from repro.errors import ReactionError
+from repro.errors import ControllerError, ReactionError
 from repro.ml.base import Estimator
 from repro.openflow.actions import ActionDrop, ActionOutput, ActionSetIpDst
 from repro.openflow.match import Match
@@ -297,6 +298,7 @@ class SouthboundElement:
         compute: Optional[ComputeCluster] = None,
         distributed_threshold: int = 50_000,
         mac_resolver=None,
+        poll_retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.instance = instance
         self.generator = generator
@@ -306,10 +308,25 @@ class SouthboundElement:
             self.proxy, instance.owned_dpids, mac_resolver=mac_resolver
         )
         self._attached = False
-        self._metric_table_entries = get_telemetry().registry.gauge(
+        self.poll_retry_policy = poll_retry_policy or RetryPolicy(
+            max_attempts=3, base_delay=0.25, max_delay=1.0
+        )
+        self.polls_retried = 0
+        self.polls_skipped = 0
+        registry = get_telemetry().registry
+        self._metric_table_entries = registry.gauge(
             "athena_dataplane_flow_table_entries",
             "Flow-table occupancy per switch at the last Athena poll.",
             labelnames=("switch",),
+        )
+        self._metric_polls_retried = registry.counter(
+            "athena_southbound_polls_retried_total",
+            "Per-switch stats polls re-armed after a controller error.",
+        )
+        self._metric_polls_skipped = registry.counter(
+            "athena_southbound_polls_skipped_total",
+            "Per-switch stats polls abandoned (mastership moved or budget "
+            "exhausted).",
         )
 
     def attach(self) -> None:
@@ -345,11 +362,34 @@ class SouthboundElement:
 
         include_switch = FeatureScope.SWITCH in self.generator.enabled_scopes
         for dpid in self.instance.owned_dpids():
+            self._poll_one(dpid, include_switch, attempt=1)
+
+    def _poll_one(self, dpid: int, include_switch: bool, attempt: int) -> None:
+        """Poll one switch; on controller errors retry with sim-clock
+        backoff, skipping once the budget runs out or mastership moves."""
+        if dpid not in self.instance.switches:
+            # Mastership moved since this poll (or its retry) was armed.
+            self.polls_skipped += 1
+            self._metric_polls_skipped.inc()
+            return
+        try:
             self.proxy.issue_stats_requests(
                 dpid, include_switch_scope=include_switch
             )
-            switch = self.instance.switches.get(dpid)
-            if switch is not None:
-                self._metric_table_entries.labels(switch=switch.name).set(
-                    switch.flow_count()
-                )
+        except ControllerError:
+            if attempt >= self.poll_retry_policy.max_attempts:
+                self.polls_skipped += 1
+                self._metric_polls_skipped.inc()
+                return
+            self.polls_retried += 1
+            self._metric_polls_retried.inc()
+            self.instance.sim.after(
+                self.poll_retry_policy.delay_for(attempt),
+                lambda: self._poll_one(dpid, include_switch, attempt + 1),
+            )
+            return
+        switch = self.instance.switches.get(dpid)
+        if switch is not None:
+            self._metric_table_entries.labels(switch=switch.name).set(
+                switch.flow_count()
+            )

@@ -16,7 +16,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.distdb.aggregation import aggregate, merge_grouped
 from repro.distdb.query import equality_value, sort_documents, validate_filter
 from repro.distdb.shard import ShardNode
-from repro.errors import DatabaseError
+from repro.errors import AllShardsDownError, DatabaseError, ShardDownError
 from repro.telemetry import get_telemetry
 
 #: Operation labels shared by the router's telemetry instruments.
@@ -48,6 +48,9 @@ class DatabaseCluster:
         self.replication = min(replication, n_shards) if n_shards > 1 else 1
         self.router_ops = 0
         self.bytes_on_wire = 0
+        #: Shards with injected replication lag: replica copies destined
+        #: for a lagging shard queue here and apply when the lag ends.
+        self._replica_lag: Dict[int, List[Tuple[str, Dict[str, Any]]]] = {}
         # Telemetry: the per-op counter takes a dynamic ``collection``
         # label, so the hot write path guards on a captured enabled flag
         # instead of paying the labels() lookup when disabled.
@@ -79,7 +82,7 @@ class DatabaseCluster:
     def _live_shards(self) -> List[ShardNode]:
         live = [s for s in self.shards if s.up]
         if not live:
-            raise DatabaseError("all shards are down")
+            raise AllShardsDownError()
         return live
 
     # -- writes ------------------------------------------------------------
@@ -109,13 +112,20 @@ class DatabaseCluster:
         # primary; with no replication a dead home shard fails the write.
         live = [shard for shard in chain if shard.up]
         if not live:
-            home.ensure_up()
+            if not any(shard.up for shard in self.shards):
+                raise AllShardsDownError()
+            raise ShardDownError(home.node_id)
         primary = live[0]
         inserted_id = primary.collection(collection).insert_one(doc)
+        replica_name = self._replica_name(collection)
         for replica in live[1:]:
             copy = dict(doc)
             copy["_id"] = inserted_id
-            replica.collection(self._replica_name(collection)).insert_one(copy)
+            lagged = self._replica_lag.get(replica.node_id)
+            if lagged is not None:
+                lagged.append((replica_name, copy))
+            else:
+                replica.collection(replica_name).insert_one(copy)
         return inserted_id
 
     def insert_many(self, collection: str, docs: List[Dict[str, Any]]) -> int:
@@ -301,3 +311,28 @@ class DatabaseCluster:
 
     def recover_shard(self, node_id: int) -> None:
         self.shards[node_id].up = True
+
+    # -- injected replication lag -------------------------------------------
+
+    def begin_replica_lag(self, node_id: int) -> None:
+        """Start lagging replica writes destined for ``node_id``.
+
+        The primary copy of every document still lands synchronously; only
+        the replica copies queue up, as when a secondary falls behind the
+        oplog in a real replica set.
+        """
+        if not 0 <= node_id < len(self.shards):
+            raise DatabaseError(f"no shard {node_id}")
+        self._replica_lag.setdefault(node_id, [])
+
+    def end_replica_lag(self, node_id: int) -> int:
+        """Catch the shard up: apply every queued replica write."""
+        queued = self._replica_lag.pop(node_id, [])
+        shard = self.shards[node_id]
+        for name, doc in queued:
+            shard.collection(name).insert_one(doc)
+        return len(queued)
+
+    def replica_lag_depth(self, node_id: int) -> int:
+        """Replica writes queued for a lagging shard (0 if not lagging)."""
+        return len(self._replica_lag.get(node_id, []))

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.distdb.collection import Collection
-from repro.errors import DatabaseError
+from repro.errors import ShardDownError
 
 
 class ShardNode:
@@ -32,7 +32,7 @@ class ShardNode:
 
     def ensure_up(self) -> None:
         if not self.up:
-            raise DatabaseError(f"shard {self.node_id} is down")
+            raise ShardDownError(self.node_id)
 
     def op_stats(self) -> Dict[str, Any]:
         """Aggregate op counters across this node's collections."""

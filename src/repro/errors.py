@@ -31,6 +31,21 @@ class DatabaseError(ReproError):
     """Distributed document-store failure."""
 
 
+class ShardDownError(DatabaseError):
+    """An operation was routed to a shard that is currently down."""
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__(f"shard {node_id} is down")
+        self.node_id = node_id
+
+
+class AllShardsDownError(DatabaseError):
+    """Every shard in the cluster is down — no operation can be served."""
+
+    def __init__(self, message: str = "all shards are down") -> None:
+        super().__init__(message)
+
+
 class QueryError(DatabaseError):
     """A query document or Athena query string could not be interpreted."""
 
@@ -57,3 +72,7 @@ class ReactionError(AthenaError):
 
 class TelemetryError(ReproError):
     """Telemetry misuse (metric type conflict, bad label set, ...)."""
+
+
+class ChaosError(ReproError):
+    """A fault plan is malformed or targets something that does not exist."""

@@ -466,3 +466,77 @@ class TestIndexAndFastPathRegressions:
             sort=[("n", 1)],
         )
         assert [d["n"] for d in got] == [0, 2, 4, 6, 8]
+
+
+class TestPartialShardAvailability:
+    """Typed failure and partial-result behaviour under shard loss."""
+
+    def _cluster(self):
+        cluster = DatabaseCluster(n_shards=3, shard_key="k", replication=1)
+        cluster.insert_many("c", [{"k": i, "v": i} for i in range(60)])
+        return cluster
+
+    def test_all_shards_down_raises_typed_error(self):
+        from repro.errors import AllShardsDownError
+
+        cluster = self._cluster()
+        for shard in cluster.shards:
+            cluster.fail_shard(shard.node_id)
+        with pytest.raises(AllShardsDownError):
+            cluster.find("c", None)
+        with pytest.raises(AllShardsDownError):
+            cluster.aggregate(
+                "c", [{"$group": {"_id": "$k", "t": {"$sum": "$v"}}}]
+            )
+        # The typed error is still the DatabaseError callers catch.
+        assert issubclass(AllShardsDownError, DatabaseError)
+
+    def test_find_returns_surviving_shards_documents(self):
+        cluster = self._cluster()
+        dead = cluster.shards[0]
+        survivors = sum(
+            len(s.collection("c"))
+            for s in cluster.shards[1:]
+            if s.has_collection("c")
+        )
+        cluster.fail_shard(dead.node_id)
+        docs = cluster.find("c", None)
+        assert len(docs) == survivors
+        cluster.recover_shard(dead.node_id)
+        assert len(cluster.find("c", None)) == 60
+
+    def test_aggregate_over_surviving_shards_matches_their_data(self):
+        cluster = self._cluster()
+        dead = cluster.shards[1]
+        alive_total = sum(
+            doc["v"]
+            for s in cluster.shards
+            if s.node_id != dead.node_id and s.has_collection("c")
+            for doc in s.collection("c").find(None)
+        )
+        cluster.fail_shard(dead.node_id)
+        rows = cluster.aggregate(
+            "c", [{"$group": {"_id": None, "t": {"$sum": "$v"}}}]
+        )
+        assert rows[0]["t"] == alive_total
+
+    def test_insert_to_dead_home_without_replica_is_typed(self):
+        from repro.errors import ShardDownError
+
+        cluster = DatabaseCluster(n_shards=2, shard_key="k", replication=1)
+        key = next(
+            k for k in range(10) if cluster._shard_for(k).node_id == 0
+        )
+        cluster.fail_shard(0)
+        with pytest.raises(ShardDownError) as excinfo:
+            cluster.insert_one("c", {"k": key})
+        assert excinfo.value.node_id == 0
+
+    def test_replicated_insert_survives_dead_home(self):
+        cluster = DatabaseCluster(n_shards=3, shard_key="k", replication=2)
+        key = next(
+            k for k in range(10) if cluster._shard_for(k).node_id == 0
+        )
+        cluster.fail_shard(0)
+        cluster.insert_one("c", {"k": key, "v": 1})
+        assert cluster.count("c") == 1

@@ -292,3 +292,90 @@ class TestUIManager:
 
     def test_empty_timeseries(self):
         assert UIManager().show_timeseries([]) == "(no data)"
+
+
+class TestReactionNegativePaths:
+    """Mitigation must keep working (or fail typed) around failovers."""
+
+    @pytest.fixture
+    def stack(self):
+        from repro.controller import ControllerCluster, ReactiveForwarding
+        from repro.core import AthenaDeployment
+        from repro.dataplane.topologies import linear_topology
+        from repro.workloads.flows import TrafficSchedule
+
+        topo = linear_topology(n_switches=2, hosts_per_switch=1)
+        cluster = ControllerCluster(topo.network, n_instances=2)
+        cluster.adopt_all()
+        cluster.start(poll=False)
+        ReactiveForwarding().activate(cluster)
+        athena = AthenaDeployment(cluster, athena_poll_interval=1.0)
+        athena.start(poll=False)
+        schedule = TrafficSchedule(topo.network)
+        schedule.prime_arp()
+        topo.network.sim.run(until=0.5)
+        return topo, cluster, athena
+
+    def test_block_enforced_via_new_master_after_failover(self, stack):
+        from repro.core.reactions import BlockReaction
+        from repro.errors import ReactionError
+
+        topo, cluster, athena = stack
+        attacker = topo.network.hosts["h1"]
+        cluster.fail_instance(0)
+        rules = athena.reaction_manager.enforce(
+            BlockReaction(target_ips=[attacker.ip], everywhere=True)
+        )
+        assert rules == len(topo.network.switches)
+        # The promoted instance's reactor did the work, not the dead one.
+        assert athena.instances[1].reactor.blocks_installed == rules
+        assert athena.instances[0].reactor.blocks_installed == 0
+
+    def test_quarantine_enforced_via_new_master_after_failover(self, stack):
+        from repro.core.reactions import QuarantineReaction
+
+        topo, cluster, athena = stack
+        attacker = topo.network.hosts["h1"]
+        honeypot = topo.network.hosts["h2"]
+        cluster.fail_instance(0)
+        rules = athena.reaction_manager.enforce(
+            QuarantineReaction(
+                target_ips=[attacker.ip], honeypot_ip=honeypot.ip
+            )
+        )
+        assert rules >= 1
+        assert athena.instances[1].reactor.quarantines_installed == rules
+
+    def test_unadopted_switch_yields_typed_reaction_error(self):
+        from repro.controller import ControllerCluster
+        from repro.core import AthenaDeployment
+        from repro.core.reactions import BlockReaction
+        from repro.dataplane.topologies import linear_topology
+        from repro.errors import ReactionError
+
+        topo = linear_topology(n_switches=2, hosts_per_switch=1)
+        cluster = ControllerCluster(topo.network, n_instances=2)
+        # No adoption: no switch has a master, so no reactor covers them.
+        cluster.start(poll=False)
+        athena = AthenaDeployment(cluster, athena_poll_interval=1.0)
+        with pytest.raises(ReactionError, match="no Athena reactor"):
+            athena.reaction_manager.enforce(
+                BlockReaction(target_ips=["10.0.0.1"], everywhere=True)
+            )
+
+    def test_reactor_rejects_non_owned_switch(self, stack):
+        from repro.errors import ReactionError
+
+        topo, cluster, athena = stack
+        # Instance 1 is pure standby after adopt_all: it owns nothing.
+        standby_reactor = athena.instances[1].reactor
+        with pytest.raises(ReactionError, match="not managed"):
+            standby_reactor.block("10.0.0.1", dpid=1)
+
+    def test_reaction_without_targets_is_typed(self, stack):
+        from repro.core.reactions import BlockReaction
+        from repro.errors import ReactionError
+
+        topo, cluster, athena = stack
+        with pytest.raises(ReactionError, match="no target hosts"):
+            athena.reaction_manager.enforce(BlockReaction(target_ips=[]))

@@ -9,6 +9,8 @@ These complement the per-module tests with randomized invariant checks:
 * Athena query compilation vs direct evaluation.
 """
 
+import os
+
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
@@ -299,3 +301,150 @@ class TestQueryCompilation:
         assert sorted(d["V"] for d in found) == sorted(
             v for v in values if v >= bound
         )
+
+
+# ---------------------------------------------------------------------------
+# Chaos: random fault plans preserve the liveness/durability invariants
+# ---------------------------------------------------------------------------
+
+def _chaos_event_strategy():
+    """Random valid fault events for a 2-switch / 2-instance / 3-shard
+    / 4-worker deployment, on a 0-6 s schedule."""
+    t = st.integers(min_value=0, max_value=60).map(lambda v: v / 10.0)
+    dur = st.integers(min_value=1, max_value=30).map(lambda v: v / 10.0)
+    rate = st.sampled_from([0.0, 0.1, 0.5, 1.0])
+    inst = st.integers(min_value=0, max_value=1)
+    shard = st.integers(min_value=0, max_value=2)
+    worker = st.integers(min_value=0, max_value=3)
+    opt_dur = st.one_of(st.none(), dur)
+
+    def ev(kind, **param_strategies):
+        return st.tuples(
+            t, st.just(kind), st.fixed_dictionaries(param_strategies)
+        )
+
+    return st.lists(
+        st.one_of(
+            ev("instance_down", instance=inst),
+            ev("instance_up", instance=inst),
+            ev("shard_down", shard=shard, duration=opt_dur),
+            ev("shard_up", shard=shard),
+            ev("replica_lag", shard=shard, duration=dur),
+            ev("link_down", a=st.just(1), b=st.just(2), duration=opt_dur),
+            ev("link_up", a=st.just(1), b=st.just(2)),
+            ev("link_flap", a=st.just(1), b=st.just(2),
+               down_for=st.just(0.2), times=st.integers(1, 3),
+               period=st.just(0.5)),
+            ev("partition", groups=st.just([[1], [2]]), duration=opt_dur),
+            ev("worker_crash", worker=worker,
+               count=st.integers(min_value=1, max_value=3)),
+            ev("sb_drop", instance=inst, rate=rate, duration=dur),
+            ev("sb_delay", instance=inst, rate=rate,
+               delay=st.just(0.05), duration=dur),
+            ev("sb_dup", instance=inst, rate=rate, duration=dur),
+        ),
+        min_size=1,
+        max_size=8,
+    )
+
+
+def _build_chaos_deployment():
+    from repro.controller import ControllerCluster
+    from repro.core import AthenaDeployment
+    from repro.dataplane.topologies import linear_topology
+
+    topo = linear_topology(n_switches=2, hosts_per_switch=1)
+    cluster = ControllerCluster(topo.network, n_instances=2)
+    cluster.adopt_all()
+    cluster.start(poll=False)
+    athena = AthenaDeployment(cluster, athena_poll_interval=1.0)
+    athena.start(poll=False)
+    return topo, cluster, athena
+
+
+def _plan_from(events, seed):
+    from repro.chaos import FaultPlan
+
+    plan = FaultPlan(seed=seed)
+    for at, kind, params in events:
+        plan.add(
+            at, kind,
+            **{k: v for k, v in params.items() if v is not None},
+        )
+    return plan
+
+
+# The ATHENA_CHAOS=1 CI leg explores a deeper random-plan space.
+_CHAOS_EXAMPLES = 40 if os.environ.get("ATHENA_CHAOS") == "1" else 12
+
+
+class TestChaosProperties:
+    @settings(max_examples=_CHAOS_EXAMPLES, deadline=None)
+    @given(events=_chaos_event_strategy(), seed=st.integers(0, 2**16))
+    def test_random_plans_terminate_and_fire_every_event(self, events, seed):
+        # Liveness: whatever the schedule, the sim drains (no deadlock)
+        # and every event either applied or was counted as skipped.
+        from repro.chaos import ChaosController
+
+        topo, cluster, athena = _build_chaos_deployment()
+        plan = _plan_from(events, seed)
+        chaos = ChaosController(athena, plan, seed=seed)
+        chaos.arm()
+        topo.network.sim.run(until=7.0)
+        assert chaos.faults_injected + chaos.faults_skipped == len(plan)
+
+    @settings(max_examples=_CHAOS_EXAMPLES, deadline=None)
+    @given(events=_chaos_event_strategy(), seed=st.integers(0, 2**16))
+    def test_no_acknowledged_write_is_lost(self, events, seed):
+        # Durability: features published during arbitrary faults are never
+        # dropped — once every shard is back, everything buffered commits.
+        from repro.chaos import ChaosController
+        from repro.core.feature_format import AthenaFeature, FeatureScope
+
+        topo, cluster, athena = _build_chaos_deployment()
+        chaos = ChaosController(athena, _plan_from(events, seed), seed=seed)
+        chaos.arm()
+        sim = topo.network.sim
+        published = 12
+        for i in range(published):
+            sim.at(
+                0.25 + i * 0.5,
+                lambda i=i: athena.feature_manager.publish(
+                    AthenaFeature(
+                        scope=FeatureScope.FLOW,
+                        switch_id=1 + i % 2,
+                        instance_id=0,
+                        timestamp=sim.now,
+                        indicators={"ip_src": f"10.0.0.{i}"},
+                        fields={"FLOW_PACKET_COUNT": float(i)},
+                    )
+                ),
+            )
+        sim.run(until=7.0)
+        for node_id in range(len(athena.database.shards)):
+            athena.database.recover_shard(node_id)
+            athena.database.end_replica_lag(node_id)
+        athena.feature_manager.flush_pending()
+        assert athena.feature_manager.pending_writes == 0
+        assert athena.feature_manager.count_features() == published
+
+    @settings(max_examples=_CHAOS_EXAMPLES, deadline=None)
+    @given(events=_chaos_event_strategy(), seed=st.integers(0, 2**16))
+    def test_every_switch_has_a_live_master_after_recovery(
+        self, events, seed
+    ):
+        # Safety: after the dust settles and failed instances rejoin, no
+        # switch is left masterless or attached to a down instance.
+        from repro.chaos import ChaosController
+
+        topo, cluster, athena = _build_chaos_deployment()
+        chaos = ChaosController(athena, _plan_from(events, seed), seed=seed)
+        chaos.arm()
+        topo.network.sim.run(until=7.0)
+        for instance_id in sorted(cluster.down_instances):
+            cluster.recover_instance(instance_id)
+        assert not cluster.down_instances
+        for dpid in topo.network.switches:
+            master = cluster.mastership.master_of(dpid)
+            assert master not in cluster.down_instances
+            assert dpid in cluster.instance(master).switches
