@@ -8,6 +8,7 @@ the reproduction's main entry points.
     python -m repro.cli features             # the feature catalog
     python -m repro.cli ddos --scale 0.001   # Scenario 1 end-to-end
     python -m repro.cli cbench --rounds 3    # the Table IX experiment
+    python -m repro.cli serve --port 8080    # northbound HTTP API + /metrics
     python -m repro.cli lint src/repro       # athena-lint static analysis
 """
 
@@ -229,6 +230,40 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if result.detected else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro import telemetry
+
+    # Telemetry first: instruments bind at construction time, and the API's
+    # request/cache counters are part of what /metrics exposes.
+    telemetry.configure(enabled=True)
+
+    from repro.northbound import NorthboundAPI, build_demo_stack, make_api_server
+
+    stack = build_demo_stack(scale=args.scale, horizon=args.duration,
+                             seed=args.seed)
+    print(f"running demo scenario to t={args.duration:.1f}s ...")
+    stack.run(until=args.duration)
+    stack.enforce_block()
+    summary = stack.athena.summary()
+    print(f"deployment ready: {summary['features_stored']} features stored, "
+          f"{summary['models_generated']} model(s), "
+          f"{summary['reactions_enforced']} reaction(s)")
+    app = NorthboundAPI(stack.athena)
+    server = make_api_server(app, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"serving on http://{host}:{port}/  (routes at /, scrape /metrics)")
+    try:
+        if args.once:
+            server.handle_request()
+        else:
+            server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import (
         JsonReporter,
@@ -332,6 +367,24 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--list-plans", action="store_true",
                        help="list canned fault plans and exit")
     chaos.set_defaults(handler=_cmd_chaos)
+
+    serve = commands.add_parser(
+        "serve", help="serve the northbound HTTP API over a demo deployment"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port (0 picks a free port)")
+    serve.add_argument("--scale", type=float, default=0.0005,
+                       help="DDoS dataset scale for the demo scenario")
+    serve.add_argument("--duration", type=float, default=8.0,
+                       help="sim seconds of traffic to run before serving")
+    serve.add_argument("--seed", type=int, default=1,
+                       help="training seed for the demo model")
+    serve.add_argument("--once", action="store_true",
+                       help="handle exactly one request, then exit "
+                            "(smoke-test mode)")
+    serve.set_defaults(handler=_cmd_serve)
 
     lint = commands.add_parser(
         "lint", help="athena-lint: framework-aware static analysis"

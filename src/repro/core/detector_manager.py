@@ -344,3 +344,19 @@ class DetectorManager:
     def validator_stats(self, validator_id: int) -> Dict[str, int]:
         validator = self._find_validator(validator_id)
         return {"validated": validator.validated, "alerts": validator.alerts}
+
+    def online_validator_summaries(self) -> List[Dict[str, Any]]:
+        """Read-only view of every registered online validator.
+
+        The serving tier's ``/api/models`` endpoint exposes this, so the
+        keys are API surface (docs/API.md).
+        """
+        return [
+            {
+                "validator_id": validator.validator_id,
+                "algorithm": validator.model.algorithm.name,
+                "validated": validator.validated,
+                "alerts": validator.alerts,
+            }
+            for validator in self._online_validators
+        ]

@@ -299,6 +299,22 @@ class DatabaseCluster:
     def document_count(self) -> int:
         return sum(shard.document_count() for shard in self.shards)
 
+    def shard_status(self) -> List[Dict[str, Any]]:
+        """Per-shard liveness and size, for health endpoints and runbooks.
+
+        The serving tier's ``/api/health`` exposes these rows verbatim, so
+        the keys are API surface (docs/API.md).
+        """
+        return [
+            {
+                "node_id": shard.node_id,
+                "up": shard.up,
+                "documents": shard.document_count(),
+                "replica_lag_depth": self.replica_lag_depth(shard.node_id),
+            }
+            for shard in self.shards
+        ]
+
     def op_stats(self) -> Dict[str, Any]:
         totals: Dict[str, Any] = {"router_ops": self.router_ops}
         for shard in self.shards:

@@ -2,6 +2,14 @@
 
 Keeping the hierarchy in one module lets callers catch either a precise
 failure (``QueryError``) or anything raised by the stack (``ReproError``).
+
+Every class carries a stable machine-readable ``code`` — the contract the
+northbound serving tier's error envelopes expose to HTTP clients
+(docs/API.md "Error envelope").  Codes form a dotted hierarchy mirroring
+the class hierarchy (``db.shard_down`` is a ``db`` failure), so clients
+can match on exact codes or on prefixes.  Codes are API surface: renaming
+one is a breaking change, and ``tests/test_nb_api.py`` asserts they stay
+unique and hierarchy-consistent.
 """
 
 from __future__ import annotations
@@ -10,29 +18,44 @@ from __future__ import annotations
 class ReproError(Exception):
     """Base class for every error raised by this package."""
 
+    #: Stable machine-readable identifier (see docs/API.md).
+    code = "repro"
+
 
 class SimulationError(ReproError):
     """The discrete-event kernel was used incorrectly (e.g. past-time event)."""
+
+    code = "sim"
 
 
 class OpenFlowError(ReproError):
     """Malformed OpenFlow message, match, or action."""
 
+    code = "openflow"
+
 
 class DataPlaneError(ReproError):
     """Invalid data-plane operation (unknown port, duplicate link, ...)."""
+
+    code = "dataplane"
 
 
 class ControllerError(ReproError):
     """Controller-side failure (unknown switch, mastership violation, ...)."""
 
+    code = "controller"
+
 
 class DatabaseError(ReproError):
     """Distributed document-store failure."""
 
+    code = "db"
+
 
 class ShardDownError(DatabaseError):
     """An operation was routed to a shard that is currently down."""
+
+    code = "db.shard_down"
 
     def __init__(self, node_id: int) -> None:
         super().__init__(f"shard {node_id} is down")
@@ -42,6 +65,8 @@ class ShardDownError(DatabaseError):
 class AllShardsDownError(DatabaseError):
     """Every shard in the cluster is down — no operation can be served."""
 
+    code = "db.all_shards_down"
+
     def __init__(self, message: str = "all shards are down") -> None:
         super().__init__(message)
 
@@ -49,30 +74,46 @@ class AllShardsDownError(DatabaseError):
 class QueryError(DatabaseError):
     """A query document or Athena query string could not be interpreted."""
 
+    code = "db.query"
+
 
 class ComputeError(ReproError):
     """Compute-cluster job submission or execution failure."""
+
+    code = "compute"
 
 
 class MLError(ReproError):
     """Machine-learning configuration or fitting failure."""
 
+    code = "ml"
+
 
 class AthenaError(ReproError):
     """Athena framework misuse (bad NB API parameters, unknown feature, ...)."""
+
+    code = "athena"
 
 
 class FeatureError(AthenaError):
     """An unknown or malformed Athena feature was requested."""
 
+    code = "athena.feature"
+
 
 class ReactionError(AthenaError):
     """A mitigation action could not be enforced on the data plane."""
+
+    code = "athena.reaction"
 
 
 class TelemetryError(ReproError):
     """Telemetry misuse (metric type conflict, bad label set, ...)."""
 
+    code = "telemetry"
+
 
 class ChaosError(ReproError):
     """A fault plan is malformed or targets something that does not exist."""
+
+    code = "chaos"

@@ -1,0 +1,100 @@
+"""Sim-clock-versioned response caching for the serving tier.
+
+The deployment's state only changes when something observable happens —
+a simulator event fires, a feature is published, a model is generated, a
+reaction is enforced.  :class:`VersionedCache` folds those monotonic
+counters into a *state version*; a response built at version *v* stays
+valid (and is served straight from memory) until the version moves.  The
+version also derives each response's ``ETag``, so clients polling with
+``If-None-Match`` get a ``304 Not Modified`` for free while the
+deployment is quiescent — the mechanism that lets thousands of polling
+dashboards ride on one detection run (docs/API.md "Caching and ETags").
+
+The cache is a bounded dict with FIFO eviction: entries from an older
+version are dead weight the moment the version moves, so eviction order
+barely matters and FIFO keeps the hot path to one dict lookup.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+#: One cached response: status line, headers, and the rendered body.
+ResponseTriple = Tuple[str, List[Tuple[str, str]], bytes]
+
+
+@dataclass
+class CacheEntry:
+    """A rendered response pinned to the state version that produced it."""
+
+    version: Hashable
+    etag: str
+    status: str
+    headers: List[Tuple[str, str]]
+    body: bytes
+
+
+def make_etag(key: Hashable, version: Hashable) -> str:
+    """A strong ETag deterministic in (request key, state version)."""
+    digest = hashlib.sha1(repr((key, version)).encode("utf-8")).hexdigest()
+    return f'"{digest[:20]}"'
+
+
+class VersionedCache:
+    """Response cache invalidated by state-version movement, not by time."""
+
+    def __init__(
+        self,
+        version_source: Callable[[], Hashable],
+        max_entries: int = 256,
+    ) -> None:
+        self._version_source = version_source
+        self.max_entries = max_entries
+        self._entries: Dict[Hashable, CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def version(self) -> Hashable:
+        """The deployment's current state version."""
+        return self._version_source()
+
+    def get(self, key: Hashable, version: Hashable) -> Optional[CacheEntry]:
+        """The entry for ``key`` if it was built at ``version``."""
+        entry = self._entries.get(key)
+        if entry is not None and entry.version == version:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def put(
+        self,
+        key: Hashable,
+        version: Hashable,
+        status: str,
+        headers: List[Tuple[str, str]],
+        body: bytes,
+    ) -> CacheEntry:
+        """Store a freshly rendered response for ``key`` at ``version``."""
+        if len(self._entries) >= self.max_entries and key not in self._entries:
+            # FIFO: drop the oldest insertion (dicts preserve order).
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+            self.evictions += 1
+        self._entries[key] = CacheEntry(
+            version=version,
+            etag=make_etag(key, version),
+            status=status,
+            headers=headers,
+            body=body,
+        )
+        return self._entries[key]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()

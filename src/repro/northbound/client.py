@@ -1,0 +1,98 @@
+"""In-process WSGI driver for tests and load benchmarks.
+
+:class:`LocalClient` calls a WSGI app directly — no sockets, no HTTP
+parsing — so tests exercise exactly the routing/caching/error code paths
+the real server runs, and ``benchmarks/bench_nb_api.py`` can measure
+per-request serving cost without network noise.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import urlencode
+
+
+@dataclass
+class Response:
+    """One response from a :class:`LocalClient` request."""
+
+    status: int
+    reason: str
+    headers: List[Tuple[str, str]]
+    body: bytes
+    _header_map: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._header_map = {name.lower(): value for name, value in self.headers}
+
+    def header(self, name: str) -> Optional[str]:
+        return self._header_map.get(name.lower())
+
+    @property
+    def etag(self) -> Optional[str]:
+        return self.header("ETag")
+
+    def json(self) -> Any:
+        return json.loads(self.body.decode("utf-8"))
+
+    @property
+    def text(self) -> str:
+        return self.body.decode("utf-8")
+
+
+class LocalClient:
+    """Drive a WSGI app in-process with a requests-like ``get()``."""
+
+    def __init__(self, app) -> None:
+        self.app = app
+
+    def get(
+        self,
+        path: str,
+        params: Optional[Dict[str, Any]] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Response:
+        return self.request("GET", path, params=params, headers=headers)
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        params: Optional[Dict[str, Any]] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Response:
+        query_string = ""
+        if "?" in path:
+            path, query_string = path.split("?", 1)
+        if params:
+            extra = urlencode(params)
+            query_string = f"{query_string}&{extra}" if query_string else extra
+        environ: Dict[str, Any] = {
+            "REQUEST_METHOD": method,
+            "PATH_INFO": path,
+            "QUERY_STRING": query_string,
+            "SERVER_NAME": "localhost",
+            "SERVER_PORT": "0",
+            "SERVER_PROTOCOL": "HTTP/1.1",
+            "wsgi.url_scheme": "http",
+        }
+        for name, value in (headers or {}).items():
+            environ["HTTP_" + name.upper().replace("-", "_")] = value
+        captured: Dict[str, Any] = {}
+
+        def start_response(status: str, response_headers, exc_info=None):
+            captured["status"] = status
+            captured["headers"] = response_headers
+
+        chunks = self.app(environ, start_response)
+        body = b"".join(chunks)
+        status_line = captured["status"]
+        code, _, reason = status_line.partition(" ")
+        return Response(
+            status=int(code),
+            reason=reason,
+            headers=list(captured["headers"]),
+            body=body,
+        )

@@ -1,0 +1,128 @@
+"""A self-contained detection deployment for serving and load testing.
+
+``repro.cli serve`` and ``benchmarks/bench_nb_api.py`` both need a live
+deployment with data behind every endpoint: stored features, a trained
+model, an online validator streaming verdicts, periodic batch rounds, and
+at least one enforced reaction.  :func:`build_demo_stack` assembles the
+same DDoS stack as the chaos scenarios (linear topology, two instances,
+three shards, K-Means trained offline) and returns it ready to run; the
+caller drives the sim clock (``stack.run(until=...)``) and serves the
+deployment through :class:`~repro.northbound.api.NorthboundAPI`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+
+@dataclass
+class DemoStack:
+    """One runnable demo deployment plus its moving parts."""
+
+    topo: Any
+    athena: Any
+    schedule: Any
+    model: Any
+    validator_id: int
+    verdicts: List[Tuple[Optional[str], bool]] = field(default_factory=list)
+
+    @property
+    def sim(self):
+        return self.topo.network.sim
+
+    def run(self, until: float) -> None:
+        """Advance the sim clock (traffic, polling, detection rounds)."""
+        self.sim.run(until=until)
+
+    def enforce_block(self, ip: Optional[str] = None) -> None:
+        """Block one host so ``/api/alerts`` has a mitigation on record."""
+        from repro.core import BlockReaction
+
+        target = ip or self.topo.network.hosts["h2"].ip
+        self.athena.northbound.reactor(None, BlockReaction(target_ips=[target]))
+
+
+def build_demo_stack(
+    scale: float = 0.0005,
+    horizon: float = 8.0,
+    seed: int = 1,
+    attack_rate_pps: float = 150.0,
+) -> DemoStack:
+    """Build the DDoS demo deployment (telemetry should be configured first).
+
+    Mirrors the chaos ``ddos`` scenario: flood + benign traffic scheduled
+    through ``horizon`` seconds, K-Means trained on the scaled dataset, an
+    online validator on live flow features, and a batch round every 2 sim
+    seconds.  Nothing has run yet — call ``stack.run(until=...)``.
+    """
+    from repro.controller import ControllerCluster, ReactiveForwarding
+    from repro.core import AthenaDeployment, GenerateQuery
+    from repro.core.algorithm import GenerateAlgorithm
+    from repro.core.preprocessor import GeneratePreprocessor
+    from repro.dataplane.topologies import linear_topology
+    from repro.workloads.ddos import DDoSDatasetGenerator, DDoSDatasetSpec
+    from repro.workloads.flows import FlowSpec, TrafficSchedule
+
+    topo = linear_topology(n_switches=3, hosts_per_switch=2)
+    cluster = ControllerCluster(topo.network, n_instances=2)
+    cluster.adopt_all()
+    cluster.start(poll=False)
+    forwarding = ReactiveForwarding()
+    forwarding.activate(cluster)
+    athena = AthenaDeployment(cluster, athena_poll_interval=1.0)
+    athena.start()
+    schedule = TrafficSchedule(topo.network)
+    schedule.prime_arp()
+
+    documents = DDoSDatasetGenerator(DDoSDatasetSpec(scale=scale)).generate()
+    preprocessor = GeneratePreprocessor(
+        normalization="minmax",
+        marking="label",
+        features=[
+            "FLOW_PACKET_COUNT",
+            "FLOW_BYTE_PER_PACKET",
+            "FLOW_PACKET_PER_DURATION",
+            "PAIR_FLOW",
+        ],
+    )
+    model = athena.detector_manager.generate_detection_model(
+        GenerateQuery(),
+        preprocessor,
+        GenerateAlgorithm("kmeans", k=6, max_iterations=15, runs=2, seed=seed),
+        documents=documents,
+    )
+    live_query = GenerateQuery("feature_scope == flow && FLOW_PACKET_COUNT > 0")
+    verdicts: List[Tuple[Optional[str], bool]] = []
+    validator_id = athena.northbound.add_online_validator(
+        model.preprocessor,
+        model,
+        lambda feature, verdict: verdicts.append(
+            (feature.indicators.get("ip_src"), verdict)
+        ),
+        query=live_query,
+    )
+    sim = topo.network.sim
+    sim.every(
+        2.0,
+        lambda: athena.detector_manager.poll_round(
+            live_query, model.preprocessor, model
+        ),
+    )
+    schedule.add_flow(
+        FlowSpec(src_host="h2", dst_host="h6", sport=50001, dport=80,
+                 packet_size=64, rate_pps=attack_rate_pps, start=1.0,
+                 duration=max(6.0, horizon - 2.0))
+    )
+    schedule.add_flow(
+        FlowSpec(src_host="h1", dst_host="h5", rate_pps=10.0, start=1.0,
+                 duration=max(4.0, horizon - 3.0), bidirectional=True)
+    )
+    return DemoStack(
+        topo=topo,
+        athena=athena,
+        schedule=schedule,
+        model=model,
+        validator_id=validator_id,
+        verdicts=verdicts,
+    )

@@ -1,0 +1,68 @@
+"""Threaded stdlib HTTP server for the northbound API.
+
+``wsgiref`` plus :class:`~socketserver.ThreadingMixIn` is all the serving
+tier needs: requests are short (the cache makes most of them one dict
+lookup) and the app is thread-safe for reads.  No third-party dependency,
+matching the rest of the stack.
+"""
+
+from __future__ import annotations
+
+import threading
+from socketserver import ThreadingMixIn
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
+
+
+class _QuietHandler(WSGIRequestHandler):
+    """Suppress per-request stderr logging (docs go to telemetry instead)."""
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+
+class ThreadedWSGIServer(ThreadingMixIn, WSGIServer):
+    """One thread per request; daemon threads so shutdown never hangs.
+
+    stdlib ``ThreadingMixIn`` only joins *non*-daemon handler threads on
+    ``server_close()``, so a daemon-threaded server that closes right
+    after ``handle_request()`` (the CLI's ``--once`` mode) can exit while
+    the response is still being written.  We track our handler threads
+    ourselves and give each a bounded join: in-flight responses complete,
+    but a wedged request can never hang shutdown for more than
+    ``close_join_timeout`` seconds.
+    """
+
+    daemon_threads = True
+    close_join_timeout = 5.0
+
+    def process_request(self, request, client_address) -> None:
+        thread = threading.Thread(
+            target=self.process_request_thread,
+            args=(request, client_address),
+            daemon=True,
+        )
+        handler_threads = vars(self).setdefault("_handler_threads", [])
+        handler_threads[:] = [t for t in handler_threads if t.is_alive()]
+        handler_threads.append(thread)
+        thread.start()
+
+    def server_close(self) -> None:
+        super(ThreadingMixIn, self).server_close()
+        for thread in vars(self).get("_handler_threads", []):
+            thread.join(timeout=self.close_join_timeout)
+
+
+def make_api_server(app, host: str = "127.0.0.1", port: int = 0):
+    """Bind ``app`` on ``host:port`` (port 0 picks a free port).
+
+    Returns the server; call ``serve_forever()`` to serve, or
+    ``handle_request()`` for exactly one request.  The bound port is
+    ``server.server_address[1]``.
+    """
+    return make_server(
+        host,
+        port,
+        app,
+        server_class=ThreadedWSGIServer,
+        handler_class=_QuietHandler,
+    )

@@ -1,13 +1,18 @@
-"""Docs hygiene: every relative markdown link resolves to a real file.
+"""Docs hygiene: links resolve, anchors exist, CLI examples parse.
 
-Scans ``README.md`` and everything under ``docs/``.  External links
-(http/https/mailto) and pure in-page anchors are skipped; anchors on
-relative links are stripped before checking the target exists.  This is
-the same check CI runs, so a renamed file breaks the build instead of
-silently orphaning the docs.
+Scans ``README.md`` and everything under ``docs/``.  Three layers of
+checking, all run by the CI docs job:
+
+* every relative link's target file exists;
+* every anchor — in-page ``#fragment`` or cross-file ``file.md#fragment``
+  — matches a real heading in the target document (GitHub slugging);
+* every ``python -m repro.cli ...`` invocation shown in a fenced code
+  block parses against the real argument parser, so documented commands
+  cannot drift from the CLI.
 """
 
 import re
+import shlex
 from pathlib import Path
 
 import pytest
@@ -15,7 +20,10 @@ import pytest
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
-_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*)$", re.MULTILINE)
+_FENCE = re.compile(r"```.*?```", re.DOTALL)
+_CLI_LINE = re.compile(r"python -m repro\.cli\b[^\n]*")
+_SKIP_PREFIXES = ("http://", "https://", "mailto:")
 
 
 def _markdown_files():
@@ -26,11 +34,34 @@ def _markdown_files():
     return [f for f in files if f.exists()]
 
 
-def _links(markdown_file: Path):
+def _prose(markdown_file: Path) -> str:
+    """File text with fenced code blocks stripped (example syntax)."""
     text = markdown_file.read_text(encoding="utf-8")
-    # Fenced code blocks hold example syntax, not navigable links.
-    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
-    return _LINK.findall(text)
+    return _FENCE.sub("", text)
+
+
+def _links(markdown_file: Path):
+    return _LINK.findall(_prose(markdown_file))
+
+
+def _github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading."""
+    # Inline code/emphasis markers and links render away before slugging.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = text.replace("`", "").replace("*", "").replace("_", " ")
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(markdown_file: Path):
+    slugs = set()
+    for _, heading in _HEADING.findall(_prose(markdown_file)):
+        slug = _github_slug(heading)
+        # GitHub de-duplicates repeated headings as slug-1, slug-2, ...;
+        # the docs don't repeat headings, so the base slug suffices.
+        slugs.add(slug)
+    return slugs
 
 
 @pytest.mark.parametrize(
@@ -39,7 +70,7 @@ def _links(markdown_file: Path):
 def test_relative_links_resolve(markdown_file):
     broken = []
     for target in _links(markdown_file):
-        if target.startswith(_SKIP_PREFIXES):
+        if target.startswith(_SKIP_PREFIXES) or target.startswith("#"):
             continue
         path = target.split("#", 1)[0]
         if not path:
@@ -53,6 +84,70 @@ def test_relative_links_resolve(markdown_file):
     )
 
 
+@pytest.mark.parametrize(
+    "markdown_file", _markdown_files(), ids=lambda f: str(f.relative_to(REPO_ROOT))
+)
+def test_anchors_resolve(markdown_file):
+    broken = []
+    for target in _links(markdown_file):
+        if target.startswith(_SKIP_PREFIXES):
+            continue
+        if target.startswith("#"):
+            path, fragment = "", target[1:]
+        elif "#" in target:
+            path, fragment = target.split("#", 1)
+        else:
+            continue
+        document = (
+            markdown_file if not path
+            else (markdown_file.parent / path).resolve()
+        )
+        if not document.exists() or document.suffix != ".md":
+            continue  # existence is the other test's job
+        if fragment not in _anchors(document):
+            broken.append(target)
+    assert not broken, (
+        f"{markdown_file.relative_to(REPO_ROOT)} links to anchors that "
+        f"match no heading: {broken}"
+    )
+
+
+def _documented_cli_invocations():
+    """Every `python -m repro.cli ...` line inside a fenced block."""
+    found = []
+    for markdown_file in _markdown_files():
+        text = markdown_file.read_text(encoding="utf-8")
+        for block in _FENCE.findall(text):
+            for line in _CLI_LINE.findall(block):
+                # Trim shell decoration: trailing comments, pipes,
+                # redirects, line continuations.
+                line = re.split(r"\s+#|\s*\|\s|\s+>\s|\\\s*$", line)[0]
+                found.append((markdown_file.name, line.strip()))
+    return found
+
+
+@pytest.mark.parametrize(
+    "doc_name,command",
+    _documented_cli_invocations(),
+    ids=lambda v: v if isinstance(v, str) else None,
+)
+def test_documented_cli_commands_parse(doc_name, command):
+    from repro.cli import build_parser
+
+    argv = shlex.split(command)[3:]  # drop "python -m repro.cli"
+    assert argv, f"{doc_name}: empty CLI example {command!r}"
+    # Placeholder operands (e.g. my-plan.json) need no real file — only
+    # the parser runs.  SystemExit means the documented flags drifted.
+    try:
+        build_parser().parse_args(argv)
+    except SystemExit as exc:
+        pytest.fail(
+            f"{doc_name}: documented command does not parse: {command!r} "
+            f"(exit {exc.code})"
+        )
+
+
 def test_docs_are_scanned():
     # The parametrization above must never silently collapse to nothing.
     assert any(f.name == "README.md" for f in _markdown_files())
+    assert len(_documented_cli_invocations()) >= 10

@@ -1,0 +1,190 @@
+"""Drift tests: docs/NORTHBOUND.md and docs/API.md against the code.
+
+Both pages declare themselves *generated-checked*: their tables are
+hand-written prose, but these tests introspect the real objects —
+``AthenaNorthbound``, the algorithm registry, the feature catalog, and
+``NorthboundAPI.routes`` — and fail on any mismatch, so the docs cannot
+silently rot when the code moves.
+"""
+
+import inspect
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.core.features.catalog import FEATURE_CATALOG
+from repro.core.northbound import AthenaNorthbound
+from repro.ml import registry as ml_registry
+from repro.northbound import NorthboundAPI
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+NORTHBOUND_MD = REPO_ROOT / "docs" / "NORTHBOUND.md"
+API_MD = REPO_ROOT / "docs" / "API.md"
+
+_TABLE_ROW = re.compile(r"^\|\s*`([^`]+)`\s*\|")
+
+
+def _section(path: Path, heading: str) -> str:
+    """The text of one ``## heading`` section (up to the next ``## ``)."""
+    text = path.read_text(encoding="utf-8")
+    marker = f"## {heading}"
+    start = text.index(marker)
+    end = text.find("\n## ", start + len(marker))
+    return text[start:end] if end != -1 else text[start:]
+
+
+def _documented_signature(fn) -> str:
+    """Render a bound method's signature the way NORTHBOUND.md writes it."""
+    sig = str(inspect.signature(fn))
+    sig = sig.replace("(self, ", "(").replace("(self)", "()")
+    # `from __future__ import annotations` stringifies hints; the docs
+    # show them unquoted.
+    return sig.replace("'", "")
+
+
+def _core_function_rows():
+    """(paper, python, signature) triples from the NORTHBOUND.md table."""
+    rows = []
+    pattern = re.compile(r"^\|\s*`([^`]+)`\s*\|\s*`([^`]+)`\s*\|\s*`([^`]+)`\s*\|")
+    for line in _section(NORTHBOUND_MD, "The core functions").splitlines():
+        match = pattern.match(line)
+        if match and match.group(1) != "Paper name":
+            rows.append(match.groups())
+    return rows
+
+
+def test_core_function_table_matches_class():
+    rows = _core_function_rows()
+    documented_paper_names = [paper for paper, _, _ in rows]
+    assert documented_paper_names == AthenaNorthbound.core_api_names(), (
+        "NORTHBOUND.md core-function table does not list exactly the "
+        "paper-name aliases on AthenaNorthbound (sorted)"
+    )
+    for paper, python, signature in rows:
+        fn = getattr(AthenaNorthbound, paper)
+        assert fn.__name__ == python, (
+            f"NORTHBOUND.md says {paper} -> {python}, code says {fn.__name__}"
+        )
+        assert getattr(AthenaNorthbound, python) is fn, (
+            f"{paper} and {python} must be the same function"
+        )
+        expected = _documented_signature(fn)
+        assert signature == expected, (
+            f"NORTHBOUND.md signature for {paper} drifted:\n"
+            f"  documented: {signature}\n"
+            f"  actual:     {expected}"
+        )
+
+
+def test_algorithm_table_matches_registry():
+    rows = []
+    pattern = re.compile(r"^\|\s*`([^`]+)`\s*\|\s*([\w-]+)\s*\|")
+    for line in _section(NORTHBOUND_MD, "The algorithm registry").splitlines():
+        match = pattern.match(line)
+        if match and match.group(1) != "Algorithm":
+            rows.append(match.groups())
+    documented = {name: category for name, category in rows}
+    registered = {
+        name: ml_registry.category_of(name)
+        for name in ml_registry.list_algorithms()
+    }
+    assert documented == registered, (
+        "NORTHBOUND.md algorithm table drifted from repro.ml.registry"
+    )
+    assert [name for name, _ in rows] == sorted(documented), (
+        "NORTHBOUND.md algorithm table must be sorted by name"
+    )
+
+
+def _catalog_counts(attr):
+    counts = {}
+    for definition in FEATURE_CATALOG.values():
+        key = getattr(definition, attr).value
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def test_feature_scope_table_matches_catalog():
+    section = _section(NORTHBOUND_MD, "Feature scopes")
+    documented = {
+        scope: int(count)
+        for scope, count in re.findall(
+            r"^\|\s*`(\w+)`\s*\|\s*(\d+)\s*\|", section, re.MULTILINE
+        )
+    }
+    assert documented == _catalog_counts("scope"), (
+        "NORTHBOUND.md scope table drifted from the feature catalog"
+    )
+    assert f"Table I, {len(FEATURE_CATALOG)} features" in section, (
+        "NORTHBOUND.md total feature count drifted"
+    )
+
+
+def test_feature_category_counts_match_catalog():
+    section = _section(NORTHBOUND_MD, "Feature scopes")
+    documented = {
+        category: int(count)
+        for category, count in re.findall(r"`([\w-]+)`\s*\((\d+)\)", section)
+    }
+    assert documented == _catalog_counts("category"), (
+        "NORTHBOUND.md category counts drifted from the feature catalog"
+    )
+
+
+def test_api_route_table_matches_app():
+    app = NorthboundAPI(None)  # deployment only touched per-request
+    served = [route.pattern for route in app.routes]
+    documented = []
+    for line in _section(API_MD, "Routes").splitlines():
+        match = _TABLE_ROW.match(line)
+        if match:
+            documented.append(match.group(1))
+    assert documented == served, (
+        "docs/API.md Routes table drifted from NorthboundAPI.routes:\n"
+        f"  documented: {documented}\n"
+        f"  served:     {served}"
+    )
+
+
+def test_api_route_params_documented():
+    app = NorthboundAPI(None)
+    section = _section(API_MD, "Routes")
+    by_pattern = {}
+    for line in section.splitlines():
+        match = _TABLE_ROW.match(line)
+        if match:
+            by_pattern[match.group(1)] = line
+    for route in app.routes:
+        row = by_pattern[route.pattern]
+        for param in route.params:
+            assert f"`{param}`" in row, (
+                f"docs/API.md Routes row for {route.pattern} is missing "
+                f"parameter `{param}`"
+            )
+
+
+def test_error_code_table_matches_errors_module():
+    """Every status mapping in the API is documented by its stable code."""
+    from repro.northbound.api import ERROR_STATUS
+
+    section = _section(API_MD, "Error envelope")
+    rows = [line for line in section.splitlines() if line.startswith("|")]
+    for exc_class, status in ERROR_STATUS:
+        # A class maps either by its exact code (`db.query`) or as a
+        # documented prefix family (`db.*`) in a row with its status.
+        tokens = (f"`{exc_class.code}`", f"`{exc_class.code}.*`")
+        matching = [
+            row for row in rows
+            if f" {status} " in row and any(tok in row for tok in tokens)
+        ]
+        assert matching, (
+            f"docs/API.md error table has no row mapping code "
+            f"{exc_class.code!r} (or {exc_class.code}.*) to status {status}"
+        )
+
+
+@pytest.mark.parametrize("page", [NORTHBOUND_MD, API_MD], ids=lambda p: p.name)
+def test_generated_checked_banner(page):
+    # Each page must declare that this test suite guards it.
+    assert "test_docs_northbound.py" in page.read_text(encoding="utf-8")
