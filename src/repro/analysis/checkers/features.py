@@ -19,6 +19,8 @@ Feature-name positions covered:
 * preprocessor configs: ``features=`` lists, ``weights=`` dict keys,
   ``add`` / ``add_all`` / ``set_weight`` calls, and the ``with_weights``
   utility;
+* streaming detector registrations: the ``features`` list of
+  ``register_detector`` (``repro.streaming``);
 * module-level ``*_FEATURES`` list constants (detector configs).
 
 Only names that *look like* catalog names (``UPPER_SNAKE``) resolve
@@ -101,6 +103,8 @@ class FeatureNameChecker(Checker):
             yield from self._check_textual_query(module, node)
         elif callee in _PREPROCESSOR_CALLS or callee == "with_weights":
             yield from self._check_preprocessor(module, node, callee)
+        elif callee == "register_detector":
+            yield from self._check_register_detector(module, node)
 
     @staticmethod
     def _callee_name(node: ast.Call) -> Optional[str]:
@@ -182,6 +186,20 @@ class FeatureNameChecker(Checker):
                     yield from self._validate(module, element, element.value)
             elif keyword.arg == "weights":
                 yield from self._check_weights(module, keyword.value)
+
+    def _check_register_detector(
+        self, module: ParsedModule, node: ast.Call
+    ) -> Iterator[Finding]:
+        # StreamingDetectorManager.register_detector(name, learner,
+        # features, ...): the features list names catalog entries.
+        target: Optional[ast.AST] = node.args[2] if len(node.args) > 2 else None
+        for keyword in node.keywords:
+            if keyword.arg == "features":
+                target = keyword.value
+        if target is None:
+            return
+        for element in string_elements(target):
+            yield from self._validate(module, element, element.value)
 
     def _check_weights(self, module: ParsedModule, node: ast.AST) -> Iterator[Finding]:
         if not isinstance(node, ast.Dict):

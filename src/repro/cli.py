@@ -230,6 +230,38 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if result.detected else 1
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.streaming.scenarios import (
+        STREAMING_RECALL_TOLERANCE,
+        run_streaming_scenario,
+    )
+
+    result = run_streaming_scenario(
+        args.scenario, seed=args.seed, duration=args.duration
+    )
+    print(f"scenario  : {result.scenario}  seed={result.seed}")
+    print(f"events    : {result.events_processed} folded, "
+          f"{result.alerts_emitted} alert(s)")
+    print(f"batch     : detected={result.batch_detected}  "
+          f"recall={result.batch_recall:.3f}")
+    print(f"streaming : detected={result.streaming_detected}  "
+          f"recall={result.streaming_recall:.3f}  "
+          f"(tolerance {STREAMING_RECALL_TOLERANCE})")
+    print(f"flagged   : {', '.join(result.streaming_flagged) or '(none)'}")
+    for summary in result.detector_summaries:
+        print(f"  detector {summary['name']}: {summary['algorithm']} over "
+              f"{', '.join(summary['features'])} — "
+              f"{summary['events_seen']} events, "
+              f"{summary['alerts_emitted']} alerts")
+    if args.alerts:
+        with open(args.alerts, "w", encoding="utf-8") as handle:
+            handle.write(result.alert_stream_json)
+        print(f"alerts    : {args.alerts} "
+              f"(sha256 {result.alert_stream_digest[:16]}…)")
+    parity = result.streaming_recall >= result.batch_recall - STREAMING_RECALL_TOLERANCE
+    return 0 if result.streaming_detected and parity else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro import telemetry
 
@@ -367,6 +399,22 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--list-plans", action="store_true",
                        help="list canned fault plans and exit")
     chaos.set_defaults(handler=_cmd_chaos)
+
+    stream = commands.add_parser(
+        "stream", help="run a scenario through the event-driven streaming "
+                       "detection pipeline"
+    )
+    stream.add_argument("--scenario", choices=["portscan", "ddos"],
+                        default="ddos", help="detection scenario to run")
+    stream.add_argument("--seed", type=int, default=0,
+                        help="run seed (same seed replays the alert stream "
+                             "byte-identically)")
+    stream.add_argument("--duration", type=float, default=12.0,
+                        help="sim horizon in seconds")
+    stream.add_argument("--alerts", default=None,
+                        help="write the canonical alert-stream JSON to "
+                             "this path")
+    stream.set_defaults(handler=_cmd_stream)
 
     serve = commands.add_parser(
         "serve", help="serve the northbound HTTP API over a demo deployment"

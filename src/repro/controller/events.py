@@ -103,15 +103,22 @@ class EventBus:
         # if it subscribed at several levels (concrete + base type).
         # Equality, not identity: bound methods are re-created per access,
         # so ``instance.handler`` subscribed twice compares == but not is.
+        #
+        # The full delivery list is snapshotted *before* any listener runs:
+        # subscribers added mid-dispatch (e.g. a StreamingPipeline attaching
+        # while a round's events are flowing) are deferred until the next
+        # event, so the set of listeners an event reaches never depends on
+        # handler side-effect ordering.  Unsubscribing mid-dispatch likewise
+        # does not retract a delivery already snapshotted for this event.
         delivered = []
         for event_type in type(event).__mro__:
             if event_type is object:
                 break
-            for listener in list(self._listeners.get(event_type, [])):
-                if listener in delivered:
-                    continue
-                delivered.append(listener)
-                listener(event)
+            for listener in self._listeners.get(event_type, []):
+                if listener not in delivered:
+                    delivered.append(listener)
+        for listener in delivered:
+            listener(event)
 
     def listener_count(self, event_type: Type[ControllerEvent]) -> int:
         return len(self._listeners.get(event_type, []))

@@ -26,7 +26,8 @@ class Algorithm:
     @property
     def category(self) -> str:
         """Table IV category: boosting / classification / clustering /
-        regression / simple."""
+        regression / simple — plus ``streaming`` for the online learners
+        behind :mod:`repro.streaming`."""
         return category_of(self.name)
 
     @property

@@ -150,6 +150,8 @@ class AthenaDeployment:
             all_dpids=lambda: list(cluster.network.switches),
         )
         self._apps: Dict[str, object] = {}
+        #: The streaming runtime, once enable_streaming() has been called.
+        self.streaming = None
 
     def _mac_of_ip(self, ip: str):
         location = self.cluster.hosts.locate_ip(ip)
@@ -187,6 +189,40 @@ class AthenaDeployment:
     def stop(self) -> None:
         for instance in self.instances:
             instance.stop()
+
+    # -- streaming ------------------------------------------------------------
+
+    def enable_streaming(
+        self,
+        refresh_interval: float = 5.0,
+        gc_interval: float = 30.0,
+        stale_after: float = 60.0,
+    ):
+        """Wire the event-driven detection pipeline (docs/STREAMING.md).
+
+        Subscribes a :class:`~repro.streaming.StreamingPipeline` to every
+        controller instance's bus, routes its stream events into a
+        :class:`~repro.streaming.StreamingDetectorManager`, and arms the
+        periodic off-path model refresh + state GC on the sim clock.
+        Idempotent: repeated calls return the same runtime.
+        """
+        if self.streaming is not None:
+            return self.streaming
+        from repro.streaming import (
+            StreamingDetectorManager,
+            StreamingPipeline,
+            StreamingRuntime,
+        )
+
+        pipeline = StreamingPipeline(stale_after=stale_after)
+        detectors = StreamingDetectorManager()
+        pipeline.add_sink(detectors.on_event)
+        pipeline.attach(self)
+        sim = self.cluster.network.sim
+        sim.every(refresh_interval, detectors.refresh)
+        sim.every(gc_interval, lambda: pipeline.collect_garbage(sim.now))
+        self.streaming = StreamingRuntime(pipeline=pipeline, detectors=detectors)
+        return self.streaming
 
     # -- applications -------------------------------------------------------------
 

@@ -190,6 +190,30 @@ class FlowStateTable:
         state.last_sample_time = now
         return fields
 
+    def switch_snapshot(self, dpid: int) -> Dict[str, float]:
+        """Read-only switch-scope view that does NOT reset sample counters.
+
+        The streaming pipeline reads switch state on every event, far more
+        often than the batch sampling round; resetting the per-sample
+        counters here would starve :meth:`switch_fields` (and rate features)
+        of their accumulation window, so this snapshot leaves all state
+        untouched.
+        """
+        state = self._state(dpid)
+        total = len(state.flows)
+        paired = state.pair_count
+        sources = state.src_counts
+        destinations = state.dst_counts
+        return {
+            "PAIR_FLOW_RATIO": paired / total if total else 0.0,
+            "SINGLE_FLOW_RATIO": (total - paired) / total if total else 0.0,
+            "TOTAL_TRACKED_FLOWS": float(total),
+            "UNIQUE_SRC_COUNT": float(len(sources)),
+            "UNIQUE_DST_COUNT": float(len(destinations)),
+            "FLOWS_PER_SRC": total / len(sources) if sources else 0.0,
+            "FLOWS_PER_DST": total / len(destinations) if destinations else 0.0,
+        }
+
     # -- garbage collection ----------------------------------------------------
 
     def collect_garbage(self, now: float) -> int:

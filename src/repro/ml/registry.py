@@ -20,6 +20,12 @@ from repro.ml.kmeans import KMeans
 from repro.ml.linear import LassoRegression, LinearRegression, RidgeRegression
 from repro.ml.logistic import LogisticRegression
 from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.ml.online import (
+    HalfSpaceTrees,
+    OnlineGaussianNB,
+    SlidingWindowDetector,
+    StreamingKMeans,
+)
 from repro.ml.som import SelfOrganizingMap
 from repro.ml.svm import LinearSVM
 from repro.ml.threshold import ThresholdDetector
@@ -39,6 +45,11 @@ _REGISTRY: Dict[str, tuple] = {
     "ridge": ("regression", RidgeRegression),
     "threshold": ("simple", ThresholdDetector),
     "som": ("clustering", SelfOrganizingMap),
+    # Online learners for repro.streaming (per-event partial_fit/score_event).
+    "online_naive_bayes": ("streaming", OnlineGaussianNB),
+    "streaming_kmeans": ("streaming", StreamingKMeans),
+    "half_space_trees": ("streaming", HalfSpaceTrees),
+    "sliding_window": ("streaming", SlidingWindowDetector),
 }
 
 from repro.ml.tree import DecisionTreeClassifier  # noqa: E402

@@ -62,6 +62,9 @@ _REASONS = {
 DEFAULT_PAGE_LIMIT = 100
 MAX_PAGE_LIMIT = 1000
 
+#: Longest sim-clock horizon one long-poll request may drive (seconds).
+MAX_ALERT_WAIT = 60.0
+
 
 class ApiParamError(AthenaError):
     """A request carried an unusable query parameter."""
@@ -89,6 +92,8 @@ class Route:
     params: Tuple[str, ...] = ()   # recognised query parameters
     paginated: bool = False
     cached: bool = True
+    #: Parameters whose presence forces a fresh render (e.g. long-poll).
+    uncached_params: Tuple[str, ...] = ()
 
     def regex(self) -> "re.Pattern[str]":
         parts = []
@@ -185,8 +190,10 @@ class NorthboundAPI:
                   params=("q", "scope", "switch", "sort", "limit", "offset"),
                   paginated=True),
             Route("GET", "/api/alerts", "alerts", self._h_alerts,
-                  "Enforced reactions (mitigation history), most recent last.",
-                  params=("limit", "offset"), paginated=True),
+                  "Alerts: enforced reactions plus streaming-detector "
+                  "alerts, most recent last; long-polls when `wait` is set.",
+                  params=("limit", "offset", "wait", "since"), paginated=True,
+                  uncached_params=("wait",)),
             Route("GET", "/api/models", "models", self._h_models,
                   "Detector status: model/validation counters, degradation "
                   "counters, online validators."),
@@ -206,6 +213,10 @@ class NorthboundAPI:
             Route("GET", "/api/health", "health", self._h_health,
                   "Liveness: shard status, pending writes, degraded rounds, "
                   "monitoring fidelity."),
+            Route("GET", "/api/streaming/status", "streaming_status",
+                  self._h_streaming_status,
+                  "Streaming pipeline state: events folded by kind, "
+                  "registered online detectors, alerts, refreshes."),
             Route("GET", "/metrics", "metrics", self._h_metrics,
                   "Prometheus text exposition of the telemetry registry.",
                   cached=False),
@@ -246,6 +257,9 @@ class NorthboundAPI:
             d.detector_manager.validations_run,
             d.detector_manager.degraded_rounds,
             d.reaction_manager.reactions_enforced,
+            # Streaming detector registrations happen outside sim events,
+            # so the version must observe them directly.
+            0 if d.streaming is None else d.streaming.detectors.detector_count,
         )
 
     # -- WSGI entry point ----------------------------------------------------
@@ -278,7 +292,9 @@ class NorthboundAPI:
             query = {
                 key: values[-1] for key, values in parse_qs(raw_qs).items()
             }
-        if not route.cached:
+        if not route.cached or any(
+            name in query for name in route.uncached_params
+        ):
             return self._render(route, params, query)
         version = self.cache.version()
         key = (route.name, tuple(sorted(params.items())),
@@ -432,13 +448,72 @@ class NorthboundAPI:
         window, pagination = paginate(documents, query)
         return self._envelope(window, pagination), "application/json"
 
+    def _combined_alerts(self) -> List[Dict[str, Any]]:
+        """Reaction history + streaming alerts, each tagged with its source.
+
+        The combined *count* is what long-poll clients watch: it only ever
+        grows, so ``since=<count already seen>`` is a stable baseline even
+        though the two sub-streams are concatenated, not interleaved.
+        """
+        combined = [
+            {"alert_type": "reaction", **entry}
+            for entry in self.deployment.reaction_manager.history
+        ]
+        if self.deployment.streaming is not None:
+            combined.extend(
+                {"alert_type": "streaming", **alert}
+                for alert in self.deployment.streaming.detectors.alerts
+            )
+        return combined
+
     def _h_alerts(self, params, query):
-        history = self.deployment.reaction_manager.history
+        wait = query.get("wait")
+        if wait is not None:
+            self._wait_for_alerts(wait, query.get("since"))
         indexed = [
-            {"alert_id": i, **entry} for i, entry in enumerate(history)
+            {"alert_id": i, **entry}
+            for i, entry in enumerate(self._combined_alerts())
         ]
         window, pagination = paginate(indexed, query)
         return self._envelope(window, pagination), "application/json"
+
+    def _wait_for_alerts(self, wait_raw: str, since_raw: Optional[str]) -> None:
+        """Long-poll: drive the sim clock up to ``wait`` sim seconds,
+        returning as soon as the combined alert count exceeds ``since``
+        (default: the count at request time).  Never cached.
+
+        When the simulator is already running (an in-process client called
+        from inside a sim event), driving it again would be reentrant —
+        the request degrades to an immediate snapshot instead of failing.
+        """
+        from repro.errors import SimulationError
+
+        try:
+            wait = float(wait_raw)
+        except ValueError:
+            raise ApiParamError(
+                f"parameter 'wait' must be a number of sim seconds, "
+                f"got {wait_raw!r}"
+            )
+        if wait < 0:
+            raise ApiParamError(f"parameter 'wait' must be >= 0, got {wait}")
+        wait = min(wait, MAX_ALERT_WAIT)
+        baseline = (
+            _int_param({"since": since_raw}, "since", 0)
+            if since_raw is not None
+            else len(self._combined_alerts())
+        )
+        sim = self.deployment.cluster.network.sim
+        target = sim.now + wait
+        while len(self._combined_alerts()) <= baseline and sim.now < target:
+            try:
+                fired = sim.run(until=target, max_events=64)
+            except SimulationError:
+                return  # reentrant call — serve the current view
+            if fired == 0:
+                # Event queue drained (or only events beyond the horizon,
+                # in which case the clock has already advanced to target).
+                return
 
     def _h_models(self, params, query):
         dm = self.deployment.detector_manager
@@ -556,6 +631,14 @@ class NorthboundAPI:
             },
             "monitoring": d.resource_manager.current_fidelity(),
         }
+        return self._envelope(data), "application/json"
+
+    def _h_streaming_status(self, params, query):
+        runtime = self.deployment.streaming
+        if runtime is None:
+            data = {"enabled": False}
+        else:
+            data = {"enabled": True, **runtime.summary()}
         return self._envelope(data), "application/json"
 
     def _h_metrics(self, params, query):

@@ -1,0 +1,291 @@
+"""Batch-vs-streaming equivalence scenarios.
+
+Each scenario drives the *same* stack and traffic as the chaos
+conformance scenarios (``repro.chaos.scenarios``), but runs detection
+through both paths simultaneously — the batch DetectorManager pipeline
+and the streaming pipeline — and reports both recalls so the
+equivalence suite can assert parity within
+:data:`STREAMING_RECALL_TOLERANCE` (documented in docs/STREAMING.md).
+
+Determinism contract: two calls with the same ``(scenario, seed)``
+produce byte-identical ``alert_stream_json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.errors import AthenaError
+
+#: Maximum the streaming path's recall may trail the batch path's on the
+#: same scenario (documented in docs/STREAMING.md).
+STREAMING_RECALL_TOLERANCE = 0.25
+
+STREAMING_SCENARIOS = ("portscan", "ddos")
+
+#: Event kinds whose records correspond to the batch query population
+#: (``feature_scope == flow && FLOW_PACKET_COUNT > 0``): stats samples and
+#: final FLOW_REMOVED samples, not zero-count PACKET_IN observations.
+_SAMPLED_KINDS = ("flow_stats", "flow_removed")
+
+
+@dataclass
+class StreamingScenarioResult:
+    """Outcome of one dual-path (batch + streaming) scenario run."""
+
+    scenario: str
+    seed: int
+    attacker_ip: str
+    batch_recall: float
+    streaming_recall: float
+    batch_detected: bool
+    streaming_detected: bool
+    batch_flagged: List[str]
+    streaming_flagged: List[str]
+    events_processed: int
+    alerts_emitted: int
+    alert_stream_json: str
+    alert_stream_digest: str
+    detector_summaries: List[Dict[str, Any]] = field(default_factory=list)
+
+
+def _sampled(event) -> bool:
+    return (
+        event.kind in _SAMPLED_KINDS
+        and event.fields.get("FLOW_PACKET_COUNT", 0.0) > 0
+    )
+
+
+def run_streaming_scenario(
+    scenario: str, seed: int = 0, duration: float = 12.0
+) -> StreamingScenarioResult:
+    """Run one scenario through the batch and streaming paths together."""
+    if scenario not in STREAMING_SCENARIOS:
+        raise AthenaError(
+            f"unknown streaming scenario {scenario!r}; "
+            f"known: {', '.join(STREAMING_SCENARIOS)}"
+        )
+    runner = _run_portscan if scenario == "portscan" else _run_ddos
+    return runner(seed, duration)
+
+
+def _streaming_recall(detectors, sampled_events, attacker_ip: str):
+    """Recall over the batch-comparable event population.
+
+    ``sampled_events`` is the list of ``(ip_src, sim_time)`` pairs of
+    sampled flow events; an event counts as *hit* when an alert for the
+    attacker exists at the same sim time (cooldown 0 ⇒ one alert per
+    positive verdict, so this is an exact per-event join).
+    """
+    alert_times = {
+        (alert["source"], alert["sim_time"], alert["kind"])
+        for alert in detectors.alerts
+    }
+    attacker_events = [e for e in sampled_events if e[0] == attacker_ip]
+    hits = [e for e in attacker_events if (e[0], e[1], e[2]) in alert_times]
+    recall = len(hits) / len(attacker_events) if attacker_events else 0.0
+    return recall, len(attacker_events)
+
+
+def _run_portscan(seed: int, horizon: float) -> StreamingScenarioResult:
+    """Port scan: batch threshold vs streaming sliding-window detector."""
+    from repro.chaos.scenarios import _build_stack
+    from repro.core import GenerateQuery
+    from repro.core.algorithm import GenerateAlgorithm
+    from repro.core.preprocessor import GeneratePreprocessor
+    from repro.ml.online import SlidingWindowDetector
+    from repro.workloads.flows import FlowSpec
+
+    topo, athena, schedule = _build_stack()
+    runtime = athena.enable_streaming()
+    runtime.detectors.register_detector(
+        "portscan_fanout",
+        SlidingWindowDetector(column=0, threshold=10.0, window=16, min_hits=1),
+        features=["SRC_FLOW_FANOUT"],
+        cooldown=0.0,
+    )
+    sampled_events: List[tuple] = []
+
+    def record(event):
+        if _sampled(event):
+            sampled_events.append(
+                (event.indicators.get("ip_src"), event.time, event.kind)
+            )
+
+    runtime.pipeline.add_sink(record)
+
+    scanner = topo.network.hosts["h1"]
+    normal = topo.network.hosts["h2"]
+    for port in range(30):
+        schedule.add_flow(
+            FlowSpec(src_host="h1", dst_host="h5", sport=52000 + port,
+                     dport=1000 + port, packet_size=64, rate_pps=4.0,
+                     start=1.0 + port * 0.05, duration=1.5)
+        )
+    schedule.add_flow(
+        FlowSpec(src_host="h2", dst_host="h6", sport=33000, dport=80,
+                 rate_pps=10.0, start=1.0, duration=6.0, bidirectional=True)
+    )
+    topo.network.sim.run(until=horizon)
+
+    # Batch path: identical to the chaos portscan detection round.
+    query = GenerateQuery("feature_scope == flow && FLOW_PACKET_COUNT > 0")
+    preprocessor = GeneratePreprocessor(
+        normalization=None, features=["SRC_FLOW_FANOUT"]
+    )
+    algorithm = GenerateAlgorithm("threshold", column=0, threshold=10.0)
+    model = athena.northbound.GenerateDetectionModel(query, preprocessor, algorithm)
+    documents = athena.northbound.RequestFeatures(query)
+    matrix, _, docs = model.preprocessor.transform(documents)
+    predictions = model.estimator.predict(matrix)
+    batch_flagged = sorted(
+        {
+            doc.get("ip_src")
+            for doc, verdict in zip(docs, predictions)
+            if verdict and doc.get("ip_src")
+        }
+    )
+    scanner_docs = [d for d in docs if d.get("ip_src") == scanner.ip]
+    scanner_hits = [
+        d
+        for d, verdict in zip(docs, predictions)
+        if verdict and d.get("ip_src") == scanner.ip
+    ]
+    batch_recall = len(scanner_hits) / len(scanner_docs) if scanner_docs else 0.0
+
+    streaming_recall, _ = _streaming_recall(
+        runtime.detectors, sampled_events, scanner.ip
+    )
+    streaming_flagged = [
+        str(source) for source in runtime.detectors.flagged_sources()
+    ]
+    return StreamingScenarioResult(
+        scenario="portscan",
+        seed=seed,
+        attacker_ip=scanner.ip,
+        batch_recall=batch_recall,
+        streaming_recall=streaming_recall,
+        batch_detected=scanner.ip in batch_flagged
+        and normal.ip not in batch_flagged,
+        streaming_detected=scanner.ip in streaming_flagged
+        and normal.ip not in streaming_flagged,
+        batch_flagged=batch_flagged,
+        streaming_flagged=streaming_flagged,
+        events_processed=runtime.pipeline.events_processed,
+        alerts_emitted=len(runtime.detectors.alerts),
+        alert_stream_json=runtime.detectors.alert_stream_json(),
+        alert_stream_digest=runtime.detectors.alert_stream_digest(),
+        detector_summaries=runtime.detectors.summaries(),
+    )
+
+
+def _run_ddos(seed: int, horizon: float) -> StreamingScenarioResult:
+    """DDoS: batch K-Means (offline-trained) vs online NB warmed on the
+    same labelled dataset, scoring live flow-stats events."""
+    from repro.chaos.scenarios import _build_stack
+    from repro.core import GenerateQuery
+    from repro.core.algorithm import GenerateAlgorithm
+    from repro.core.preprocessor import GeneratePreprocessor
+    from repro.ml.online import OnlineGaussianNB
+    from repro.workloads.ddos import DDoSDatasetGenerator, DDoSDatasetSpec
+    from repro.workloads.flows import FlowSpec
+
+    features = [
+        "FLOW_PACKET_COUNT",
+        "FLOW_BYTE_PER_PACKET",
+        "FLOW_PACKET_PER_DURATION",
+        "PAIR_FLOW",
+    ]
+    topo, athena, schedule = _build_stack()
+    attacker = topo.network.hosts["h2"]
+    documents = DDoSDatasetGenerator(DDoSDatasetSpec(scale=0.0005)).generate()
+
+    # Streaming path: online NB warmed on the labelled dataset (raw
+    # features — NB normalises through its own per-class statistics),
+    # then frozen (absorb=False) so live traffic cannot drift the model.
+    learner = OnlineGaussianNB()
+    for doc in documents:
+        learner.partial_fit(
+            [doc.get(name, 0.0) for name in features], doc.get("label", 0)
+        )
+    runtime = athena.enable_streaming()
+    runtime.detectors.register_detector(
+        "ddos_online_nb",
+        learner,
+        features=features,
+        cooldown=0.0,
+        absorb=False,
+        kinds=_SAMPLED_KINDS,
+    )
+    sampled_events: List[tuple] = []
+
+    def record(event):
+        if _sampled(event):
+            sampled_events.append(
+                (event.indicators.get("ip_src"), event.time, event.kind)
+            )
+
+    runtime.pipeline.add_sink(record)
+
+    # Batch path: K-Means trained offline, validated online per feature.
+    preprocessor = GeneratePreprocessor(
+        normalization="minmax", marking="label", features=features
+    )
+    model = athena.detector_manager.generate_detection_model(
+        GenerateQuery(),
+        preprocessor,
+        GenerateAlgorithm("kmeans", k=6, max_iterations=15, runs=2, seed=1),
+        documents=documents,
+    )
+    live_query = GenerateQuery("feature_scope == flow && FLOW_PACKET_COUNT > 0")
+    verdicts: List = []
+    athena.northbound.add_online_validator(
+        model.preprocessor,
+        model,
+        lambda feature, verdict: verdicts.append(
+            (feature.indicators.get("ip_src"), verdict)
+        ),
+        query=live_query,
+    )
+
+    schedule.add_flow(
+        FlowSpec(src_host="h2", dst_host="h6", sport=50001, dport=80,
+                 packet_size=64, rate_pps=150.0, start=1.0,
+                 duration=max(6.0, horizon - 4.0))
+    )
+    schedule.add_flow(
+        FlowSpec(src_host="h1", dst_host="h5", rate_pps=10.0, start=1.0,
+                 duration=5.0, bidirectional=True)
+    )
+    topo.network.sim.run(until=horizon)
+
+    attacker_samples = [v for ip, v in verdicts if ip == attacker.ip]
+    attacker_alerts = [v for v in attacker_samples if v]
+    batch_recall = (
+        len(attacker_alerts) / len(attacker_samples) if attacker_samples else 0.0
+    )
+    batch_flagged = sorted({ip for ip, v in verdicts if v and ip})
+
+    streaming_recall, _ = _streaming_recall(
+        runtime.detectors, sampled_events, attacker.ip
+    )
+    streaming_flagged = [
+        str(source) for source in runtime.detectors.flagged_sources()
+    ]
+    return StreamingScenarioResult(
+        scenario="ddos",
+        seed=seed,
+        attacker_ip=attacker.ip,
+        batch_recall=batch_recall,
+        streaming_recall=streaming_recall,
+        batch_detected=attacker.ip in batch_flagged,
+        streaming_detected=attacker.ip in streaming_flagged,
+        batch_flagged=batch_flagged,
+        streaming_flagged=streaming_flagged,
+        events_processed=runtime.pipeline.events_processed,
+        alerts_emitted=len(runtime.detectors.alerts),
+        alert_stream_json=runtime.detectors.alert_stream_json(),
+        alert_stream_digest=runtime.detectors.alert_stream_digest(),
+        detector_summaries=runtime.detectors.summaries(),
+    )

@@ -175,6 +175,36 @@ class TestFeatureNameChecker:
         assert rules_of(findings) == ["ATH201"]
         assert "PORT_RX_BYTES" in findings[0].message
 
+    def test_register_detector_features_checked(self):
+        findings = run_checker(
+            FeatureNameChecker(),
+            """
+            manager.register_detector(
+                "fanout", learner, features=["SRC_FLOW_FANOUTT"],
+            )
+            """,
+        )
+        assert rules_of(findings) == ["ATH201"]
+        assert "SRC_FLOW_FANOUT" in findings[0].message
+
+    def test_register_detector_positional_features_checked(self):
+        findings = run_checker(
+            FeatureNameChecker(),
+            'manager.register_detector("x", learner, ["FLOW_PAKET_COUNT"])\n',
+        )
+        assert rules_of(findings) == ["ATH201"]
+
+    def test_register_detector_known_names_clean(self):
+        findings = run_checker(
+            FeatureNameChecker(),
+            """
+            manager.register_detector(
+                "fanout", learner, features=["SRC_FLOW_FANOUT", "PAIR_FLOW"],
+            )
+            """,
+        )
+        assert findings == []
+
     def test_unknown_index_field_is_a_warning(self):
         findings = run_checker(
             FeatureNameChecker(),
