@@ -14,6 +14,10 @@ checker keeps per-call reflection from creeping back in:
 * ``ATH602`` — ``getattr()`` / ``setattr()`` inside a loop.  A dynamic
   attribute lookup per iteration is the pattern the compiled-match
   rewrite removed; unroll it or precompute a tuple.
+* ``ATH603`` — per-row dict construction inside a loop or comprehension,
+  in modules marked ``# athena-lint: hot-path columnar``.  The columnar
+  batch path exists so bulk data moves as numpy columns; a dict built
+  per row re-creates the document churn it replaced.
 
 Deliberately kept reference implementations carry an inline
 ``# athena-lint: disable=ATH601`` so the slow path stays honest.
@@ -32,6 +36,9 @@ from repro.analysis.findings import Finding
 #: The opt-in marker; modules without it are never checked.
 _HOT_MARKER_RE = re.compile(r"#\s*athena-lint:\s*hot-path\b")
 
+#: The stricter columnar variant additionally opts into ATH603.
+_COLUMNAR_MARKER_RE = re.compile(r"#\s*athena-lint:\s*hot-path\s+columnar\b")
+
 #: Construction-time methods where one-off introspection is fine.
 _CONSTRUCTION_FUNCS = {"__init__", "__post_init__", "__setstate__", "__init_subclass__"}
 
@@ -42,6 +49,11 @@ _FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
 def is_hot_module(module: ParsedModule) -> bool:
     """Whether the module opted into hot-path checking via the marker."""
     return _HOT_MARKER_RE.search(module.source) is not None
+
+
+def is_columnar_module(module: ParsedModule) -> bool:
+    """Whether the module opted into the columnar (ATH603) tier."""
+    return _COLUMNAR_MARKER_RE.search(module.source) is not None
 
 
 def _own_nodes(func: ast.AST) -> Iterable[ast.AST]:
@@ -64,11 +76,14 @@ class HotpathChecker(Checker):
         "construction time, not per call",
         "ATH602": "getattr()/setattr() inside a loop on a hot path; "
         "precompute the attribute tuple at construction time",
+        "ATH603": "per-row dict construction in a columnar hot-path "
+        "module; keep bulk data in numpy columns",
     }
 
     def check(self, module: ParsedModule) -> Iterable[Finding]:
         if not is_hot_module(module):
             return []
+        columnar = is_columnar_module(module)
         imports = import_map(module.tree)
         findings: List[Finding] = []
         for func in ast.walk(module.tree):
@@ -93,6 +108,8 @@ class HotpathChecker(Checker):
                     )
                 if isinstance(node, _LOOP_NODES):
                     findings.extend(self._check_loop(module, node))
+            if columnar:
+                findings.extend(self._check_row_dicts(module, func))
         return findings
 
     @staticmethod
@@ -121,3 +138,48 @@ class HotpathChecker(Checker):
                     )
                 )
         return findings
+
+    _PER_ROW_CONTEXTS = _LOOP_NODES + (
+        ast.ListComp,
+        ast.SetComp,
+        ast.GeneratorExp,
+        ast.DictComp,
+    )
+
+    @staticmethod
+    def _is_dict_construction(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Dict, ast.DictComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and dotted_name(node.func) == "dict"
+        )
+
+    def _check_row_dicts(self, module: ParsedModule, func: ast.AST) -> List[Finding]:
+        """ATH603: dicts built once per iteration in a columnar module.
+
+        Any ``{...}`` literal, ``dict(...)`` call, or dict comprehension
+        *inside* a loop or comprehension body executes per row; the
+        columnar contract says bulk rows travel as arrays.  Each offending
+        construction is flagged once, however deeply contexts nest.
+        """
+        flagged: dict = {}
+        for context in _own_nodes(func):
+            if not isinstance(context, self._PER_ROW_CONTEXTS):
+                continue
+            for node in ast.walk(context):
+                if node is context:
+                    continue
+                if self._is_dict_construction(node) and id(node) not in flagged:
+                    flagged[id(node)] = node
+        return [
+            self.finding(
+                module,
+                node,
+                "ATH603",
+                "dict constructed per row in a columnar hot-path module; "
+                "move the data into frame columns (or copy only post-limit "
+                "survivors)",
+            )
+            for node in flagged.values()
+        ]

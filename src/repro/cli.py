@@ -56,10 +56,16 @@ def _cmd_ddos(args: argparse.Namespace) -> int:
     from repro.dataplane.topologies import enterprise_topology
     from repro.workloads.ddos import DDoSDatasetGenerator, DDoSDatasetSpec
 
+    if args.columnar:
+        from repro.perf import set_columnar
+
+        set_columnar(True)
     generator = DDoSDatasetGenerator(DDoSDatasetSpec(scale=args.scale))
     documents = generator.generate()
     train, test = generator.train_test_split(documents)
-    print(f"dataset: {len(documents):,} entries at scale {args.scale}")
+    path = "columnar" if args.columnar else "document"
+    print(f"dataset: {len(documents):,} entries at scale {args.scale} "
+          f"({path} batch path)")
     topo = enterprise_topology()
     cluster = ControllerCluster(topo.network, n_instances=3)
     cluster.adopt_domains(topo.domains)
@@ -71,7 +77,12 @@ def _cmd_ddos(args: argparse.Namespace) -> int:
     )
     app = DDoSDetectorApp(algorithm=args.algorithm)
     athena.register_app(app)
-    summary = app.run_batch(train_documents=train, test_documents=test)
+    # Load the train split into the feature store so the training fetch
+    # goes through the Feature Manager — request_features on the document
+    # path, request_frame under --columnar — and the two paths stay
+    # byte-equivalent on the same store state (docs/PERF.md).
+    athena.feature_manager.publish_documents(train)
+    summary = app.run_batch(test_documents=test)
     print(summary.render())
     report = getattr(athena.detector_manager, "last_job_report", None)
     if report is not None:
@@ -350,6 +361,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "$ATHENA_COMPUTE_BACKEND or serial)")
     ddos.add_argument("--workers", type=int, default=4,
                       help="compute cluster worker count")
+    ddos.add_argument("--columnar", action="store_true",
+                      help="run batch detection on the numpy frame path "
+                      "(equivalent to ATHENA_COLUMNAR=1)")
     ddos.add_argument("--distributed-threshold", type=int, default=50_000,
                       help="dataset rows above which jobs run distributed")
     ddos.set_defaults(handler=_cmd_ddos)

@@ -24,8 +24,10 @@ from repro.core.feature_manager import FeatureManager
 from repro.core.preprocessor import Preprocessor
 from repro.core.query import Query
 from repro.core.results import ClusterReport, ValidationSummary
+from repro.distdb.frame import FeatureFrame
 from repro.errors import AthenaError, DatabaseError
 from repro.ml.base import ClusteringModel, Estimator
+from repro.perf import columnar as _columnar
 from repro.telemetry import Stopwatch, get_telemetry
 
 Document = Dict[str, Any]
@@ -112,6 +114,17 @@ class DetectorManager:
 
     # -- model generation ------------------------------------------------------
 
+    def _fetch_training_data(self, query: Query):
+        """Documents or — under ``ATHENA_COLUMNAR`` — a feature frame.
+
+        Aggregation queries have no frame shape and always take the
+        document path; both paths feed the same downstream bytes
+        (docs/PERF.md equivalence contract).
+        """
+        if _columnar.ENABLED and query.to_db_pipeline() is None:
+            return self.feature_manager.request_frame(query)
+        return self.feature_manager.request_features(query)
+
     def generate_detection_model(
         self,
         query: Query,
@@ -131,10 +144,13 @@ class DetectorManager:
         watch = Stopwatch()
         with self._telemetry.span("detector.generate_model"):
             if documents is None:
-                documents = self.feature_manager.request_features(query)
+                documents = self._fetch_training_data(query)
             if not documents:
                 raise AthenaError("no features matched the training query")
-            matrix, marks, _docs = preprocessor.fit_transform(documents)
+            if isinstance(documents, FeatureFrame):
+                matrix, marks, _frame = preprocessor.fit_transform_frame(documents)
+            else:
+                matrix, marks, _docs = preprocessor.fit_transform(documents)
             estimator = algorithm.instantiate()
             job_report = None
             if not algorithm.has_learning_phase:
@@ -191,7 +207,7 @@ class DetectorManager:
         watch = Stopwatch()
         with self._telemetry.span("detector.validate"):
             if documents is None:
-                documents = self.feature_manager.request_features(query)
+                documents = self._fetch_training_data(query)
             if not documents:
                 raise AthenaError("no features matched the validation query")
             # The model's *fitted* preprocessor guarantees train/test consistency;
@@ -199,7 +215,11 @@ class DetectorManager:
             active = model.preprocessor
             if active.marking is None and preprocessor is not None:
                 active.marking = preprocessor.marking
-            matrix, marks, docs = active.transform(documents)
+            if isinstance(documents, FeatureFrame):
+                matrix, marks, kept = active.transform_frame(documents)
+                docs = kept.documents()
+            else:
+                matrix, marks, docs = active.transform(documents)
             predictions, job_report = self.attack_detector.run_validation(
                 model.estimator, matrix, backend=backend
             )
@@ -233,7 +253,7 @@ class DetectorManager:
         ``athena_detector_recovered_total``.
         """
         try:
-            documents = self.feature_manager.request_features(query)
+            documents = self._fetch_training_data(query)
         except DatabaseError:
             self._flag_degraded(self._metric_degraded_db)
             return None

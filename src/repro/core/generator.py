@@ -29,7 +29,7 @@ from repro.controller.events import (
 )
 from repro.core.feature_format import AthenaFeature, FeatureScope
 from repro.core.features import combination, protocol
-from repro.core.features.catalog import FeatureCategory
+from repro.core.features.catalog import FEATURE_CATALOG, FeatureCategory
 from repro.core.features.stateful import FlowStateTable
 from repro.core.features.variation import VariationTracker
 from repro.openflow.messages import (
@@ -109,6 +109,12 @@ class FeatureGenerator:
         self._profiler = StageProfiler(
             metric="athena_feature_stage_seconds", registry=registry
         )
+        # Cache for _filter_categories: names suppressed under a given
+        # enabled-category set, recomputed only when the Resource Manager
+        # swaps enabled_categories (it reassigns the set, so identity of
+        # the frozen key is enough to detect a change).
+        self._suppressed_key: Optional[frozenset] = None
+        self._suppressed_names: frozenset = frozenset()
 
     # -- configuration ------------------------------------------------------
 
@@ -125,18 +131,36 @@ class FeatureGenerator:
         if self.sink is not None:
             self.sink(record)
 
+    def _suppressed_under(self, enabled: Set[FeatureCategory]) -> frozenset:
+        """Catalog names suppressed under ``enabled``, cached per set.
+
+        The per-record hot loop used to re-import the catalog and look up
+        every field's category on each call; the suppressed-name set only
+        changes when the Resource Manager adjusts fidelity, so it is
+        precomputed once per ``enabled_categories`` value.
+        """
+        key = frozenset(enabled)
+        if key != self._suppressed_key:
+            self._suppressed_key = key
+            self._suppressed_names = frozenset(
+                name
+                for name, definition in FEATURE_CATALOG.items()
+                if definition.category not in key
+            )
+        return self._suppressed_names
+
     def _filter_categories(self, fields: Dict[str, float]) -> Dict[str, float]:
         if self.enabled_categories == set(FeatureCategory):
             return fields
-        from repro.core.features.catalog import FEATURE_CATALOG
-
+        suppressed = self._suppressed_under(self.enabled_categories)
+        if not suppressed:
+            return fields
         kept = {}
         for name, value in fields.items():
-            definition = FEATURE_CATALOG.get(name)
-            if definition is None or definition.category in self.enabled_categories:
-                kept[name] = value
-            else:
+            if name in suppressed:
                 self.records_suppressed += 1
+            else:
+                kept[name] = value
         return kept
 
     # -- event entry points -----------------------------------------------------

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.feature_format import AthenaFeature
 from repro.core.query import Query
+from repro.distdb.frame import FeatureFrame, filter_mask
 from repro.errors import AthenaError
 from repro.ml.preprocessing import MinMaxNormalizer, StandardScaler
 
@@ -157,6 +158,87 @@ class Preprocessor:
         docs = self._sample(self._to_docs(records))
         self.fit(docs)
         return self.transform(docs)
+
+    # -- columnar path (bit-identical to the document methods above) --------
+
+    def _sample_frame(self, frame: FeatureFrame) -> FeatureFrame:
+        if self.sampling is None or not frame.n_rows:
+            return frame
+        rng = np.random.default_rng(self.sampling_seed)
+        n_keep = max(1, int(round(frame.n_rows * self.sampling)))
+        keep = np.sort(rng.choice(frame.n_rows, size=n_keep, replace=False))
+        return frame.take(keep)
+
+    def _marks_frame(self, frame: FeatureFrame) -> np.ndarray:
+        """Vectorised marking: the 0/1 vector :meth:`mark` would produce."""
+        if isinstance(self.marking, str):
+            column = frame.values(self.marking)
+            if column.dtype != object:
+                # mark() → int(bool(value)), with missing → None → 0.0;
+                # stored NaN is truthy, and NaN != 0 holds, so the
+                # comparison reproduces bool() exactly.
+                missing = frame.is_missing(self.marking)
+                with np.errstate(invalid="ignore"):
+                    return ((~missing) & (column != 0)).astype(np.float64)
+        if isinstance(self.marking, Query):
+            filter_ = self.marking.to_db_filter() or None
+            return filter_mask(frame, filter_).astype(np.float64)
+        docs = frame.documents()
+        return np.fromiter(
+            (float(self.mark(doc) or 0) for doc in docs),
+            dtype=np.float64,
+            count=len(docs),
+        )
+
+    def fit_frame(self, frame: FeatureFrame) -> "Preprocessor":
+        """Learn normalisation parameters from a training frame."""
+        if not self.features:
+            raise AthenaError("preprocessor has no features registered")
+        matrix = self._sample_frame(frame).to_matrix(self.features)
+        if self.normalization == "minmax":
+            self._scaler = MinMaxNormalizer().fit(matrix)
+        elif self.normalization == "standard":
+            self._scaler = StandardScaler().fit(matrix)
+        return self
+
+    def transform_frame(
+        self, frame: FeatureFrame, sample: bool = False
+    ) -> Tuple[np.ndarray, Optional[np.ndarray], FeatureFrame]:
+        """Columnar :meth:`transform`: (matrix, marks, kept_frame).
+
+        Same scaling, weighting, and marking semantics, computed on the
+        frame's columns without a per-row loop; the returned frame holds
+        the (possibly sampled) rows the matrix was built from.
+        """
+        if not self.features:
+            raise AthenaError("preprocessor has no features registered")
+        if sample:
+            frame = self._sample_frame(frame)
+        matrix = frame.to_matrix(self.features)
+        if self._scaler is not None:
+            matrix = self._scaler.transform(matrix)
+        elif self.normalization is not None and frame.n_rows:
+            raise AthenaError("preprocessor not fitted; call fit first")
+        if self.weights:
+            weight_row = np.array(
+                [self.weights.get(feature, 1.0) for feature in self.features]
+            )
+            matrix = matrix * weight_row
+        marks = None
+        if self.marking is not None:
+            marks = self._marks_frame(frame)
+        return matrix, marks, frame
+
+    def fit_transform_frame(self, frame: FeatureFrame):
+        """Columnar :meth:`fit_transform`, sampling rounds included.
+
+        The document path samples once in ``fit_transform`` and once more
+        inside ``fit``; the frame path repeats both rounds so the learned
+        scaler — and therefore every downstream byte — matches.
+        """
+        frame = self._sample_frame(frame)
+        self.fit_frame(frame)
+        return self.transform_frame(frame)
 
     def transform_one(self, record) -> np.ndarray:
         """Row vector for a single record (the online-validation path)."""

@@ -16,6 +16,7 @@ from repro.distdb.aggregation import aggregate
 from repro.distdb.collection import Collection
 from repro.distdb.cluster import DatabaseCluster
 from repro.distdb.columnstore import ColumnStoreCluster
+from repro.distdb.frame import FeatureFrame, filter_mask
 from repro.distdb.query import matches_filter, validate_filter
 from repro.distdb.shard import ShardNode
 
@@ -24,6 +25,8 @@ __all__ = [
     "Collection",
     "DatabaseCluster",
     "ColumnStoreCluster",
+    "FeatureFrame",
+    "filter_mask",
     "matches_filter",
     "validate_filter",
     "ShardNode",

@@ -13,14 +13,17 @@ import hashlib
 import json
 from typing import Any, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.distdb.aggregation import aggregate, merge_grouped
+from repro.distdb.frame import FeatureFrame, filter_mask, scan_fields
 from repro.distdb.query import equality_value, sort_documents, validate_filter
 from repro.distdb.shard import ShardNode
 from repro.errors import AllShardsDownError, DatabaseError, ShardDownError
 from repro.telemetry import get_telemetry
 
 #: Operation labels shared by the router's telemetry instruments.
-_DB_OPS = ("insert", "delete", "update", "find", "count", "aggregate")
+_DB_OPS = ("insert", "delete", "update", "find", "find_frame", "count", "aggregate")
 
 
 def _hash_value(value: Any) -> int:
@@ -48,6 +51,13 @@ class DatabaseCluster:
         self.replication = min(replication, n_shards) if n_shards > 1 else 1
         self.router_ops = 0
         self.bytes_on_wire = 0
+        #: Bumped whenever a scan's result set could change; the columnar
+        #: frame cache keys on it.
+        self._generation = 0
+        #: collection -> (generation, full-scan frame, id(doc) -> row).
+        self._frame_cache: Dict[
+            str, Tuple[int, FeatureFrame, Dict[int, int]]
+        ] = {}
         #: Shards with injected replication lag: replica copies destined
         #: for a lagging shard queue here and apply when the lag ends.
         self._replica_lag: Dict[int, List[Tuple[str, Dict[str, Any]]]] = {}
@@ -93,6 +103,7 @@ class DatabaseCluster:
 
     def _insert_one_impl(self, collection: str, doc: Dict[str, Any]) -> Any:
         self.router_ops += 1
+        self._generation += 1
         # Driver-side wire encoding (the BSON step a real client performs);
         # this is genuine per-insert CPU work, which is what makes the
         # Table IX 'DB operations dominate' result measurable.
@@ -135,6 +146,7 @@ class DatabaseCluster:
 
     def _delete_many_impl(self, collection: str, filter_: Optional[Dict[str, Any]] = None) -> int:
         self.router_ops += 1
+        self._generation += 1
         validate_filter(filter_)
         removed = 0
         for name in (collection, self._replica_name(collection)):
@@ -149,6 +161,7 @@ class DatabaseCluster:
         self, collection: str, filter_: Optional[Dict[str, Any]], changes: Dict[str, Any]
     ) -> int:
         self.router_ops += 1
+        self._generation += 1
         touched = 0
         for name in (collection, self._replica_name(collection)):
             for shard in self._live_shards():
@@ -188,6 +201,101 @@ class DatabaseCluster:
         if limit is not None:
             results = results[: max(0, limit)]
         return results
+
+    def shard_candidates(
+        self,
+        collection: str,
+        filter_: Optional[Dict[str, Any]] = None,
+    ) -> List[List[Dict[str, Any]]]:
+        """Raw per-shard candidate documents, in routing order, zero-copy.
+
+        One list per shard the document path would consult (the pinned
+        shard when the filter fixes the shard key, every live shard
+        otherwise), each in that shard collection's candidate order — the
+        partitions the columnar path extracts from, in parallel or not.
+        Callers must treat the documents as read-only.
+        """
+        validate_filter(filter_)
+        pinned = equality_value(filter_, self.shard_key)
+        if pinned is not None:
+            shards = [self._shard_for(pinned)]
+        else:
+            shards = self._live_shards()
+        return [
+            shard.collection(collection).raw_candidates(filter_)
+            for shard in shards
+            if shard.has_collection(collection)
+        ]
+
+    def _frame_index(
+        self, collection: str
+    ) -> Tuple[FeatureFrame, Dict[int, int]]:
+        """The cached full-scan frame plus its document -> row map.
+
+        Columns are materialised once per store generation (any write,
+        shard failure, or recovery invalidates); every ``find_frame``
+        afterwards is pure array work.  The row map keys on document
+        identity — the cache holds references to the stored dicts, so the
+        ids stay valid exactly as long as the generation does.
+        """
+        cached = self._frame_cache.get(collection)
+        if cached is not None and cached[0] == self._generation:
+            return cached[1], cached[2]
+        frame = FeatureFrame.concat(
+            [
+                FeatureFrame.from_documents(docs)
+                for docs in self.shard_candidates(collection, None)
+            ]
+        )
+        rows = {id(doc): i for i, doc in enumerate(frame.documents())}
+        self._frame_cache[collection] = (self._generation, frame, rows)
+        return frame, rows
+
+    def _find_frame_impl(
+        self,
+        collection: str,
+        filter_: Optional[Dict[str, Any]] = None,
+        sort: Optional[List[Tuple[str, int]]] = None,
+        limit: Optional[int] = None,
+        columns: Optional[Tuple[str, ...]] = None,
+    ) -> FeatureFrame:
+        """Vectorised find: cached columns, candidate gather, mask, sort.
+
+        Returns a :class:`FeatureFrame` over the shared stored documents
+        holding exactly the rows :meth:`find` would return, in the same
+        order (docs/PERF.md equivalence contract): the rows are gathered
+        in the document path's own candidate order before masking, so
+        index-served filters line up byte-for-byte.
+        """
+        self.router_ops += 1
+        full, rows = self._frame_index(collection)
+        scan = scan_fields(columns, filter_, sort)
+        if scan is not None:
+            full = full.select(scan)
+        if filter_ is None:
+            # Full scan: candidate order is the cached frame's row order.
+            frame = full
+        else:
+            # Index-served candidates come back in bucket order, not
+            # insertion order, so the gather must follow the document
+            # path's own candidate sequence even when it covers every row.
+            partitions = self.shard_candidates(collection, filter_)
+            indices = np.fromiter(
+                (rows[id(doc)] for part in partitions for doc in part),
+                dtype=np.intp,
+                count=sum(len(part) for part in partitions),
+            )
+            frame = full.take(indices)
+        keep = filter_mask(frame, filter_)
+        if not keep.all():
+            frame = frame.mask(keep)
+        if sort:
+            frame = frame.sort(sort)
+        if limit is not None:
+            frame = frame.head(limit)
+        if columns is not None and scan != tuple(columns):
+            frame = frame.select(columns)
+        return frame
 
     def _count_impl(self, collection: str, filter_: Optional[Dict[str, Any]] = None) -> int:
         self.router_ops += 1
@@ -278,6 +386,20 @@ class DatabaseCluster:
             "find", collection, self._find_impl, filter_, sort, limit, projection
         )
 
+    def find_frame(
+        self,
+        collection: str,
+        filter_: Optional[Dict[str, Any]] = None,
+        sort: Optional[List[Tuple[str, int]]] = None,
+        limit: Optional[int] = None,
+        columns: Optional[Tuple[str, ...]] = None,
+    ) -> FeatureFrame:
+        if not self._telemetry_on:
+            return self._find_frame_impl(collection, filter_, sort, limit, columns)
+        return self._tracked(
+            "find_frame", collection, self._find_frame_impl, filter_, sort, limit, columns
+        )
+
     def count(self, collection: str, filter_: Optional[Dict[str, Any]] = None) -> int:
         if not self._telemetry_on:
             return self._count_impl(collection, filter_)
@@ -324,9 +446,11 @@ class DatabaseCluster:
 
     def fail_shard(self, node_id: int) -> None:
         self.shards[node_id].up = False
+        self._generation += 1
 
     def recover_shard(self, node_id: int) -> None:
         self.shards[node_id].up = True
+        self._generation += 1
 
     # -- injected replication lag -------------------------------------------
 
@@ -347,6 +471,8 @@ class DatabaseCluster:
         shard = self.shards[node_id]
         for name, doc in queued:
             shard.collection(name).insert_one(doc)
+        if queued:
+            self._generation += 1
         return len(queued)
 
     def replica_lag_depth(self, node_id: int) -> int:

@@ -212,6 +212,22 @@ class Collection:
                     return [self._docs[_id] for _id in ids if _id in self._docs]
         return self._docs.values()
 
+    def raw_candidates(
+        self, filter_: Optional[Dict[str, Any]] = None
+    ) -> List[Dict[str, Any]]:
+        """Raw *stored* documents the filter could match, never copied.
+
+        The columnar frame path (docs/PERF.md) scans these straight into
+        numpy columns; callers must treat the dicts as read-only.  Order
+        is exactly the order ``find`` evaluates candidates in — index
+        buckets first when the filter pins an indexed field, insertion
+        order otherwise — which is what keeps frame rows byte-aligned
+        with document-path results.
+        """
+        validate_filter(filter_)
+        candidates = self._candidates(filter_)
+        return candidates if isinstance(candidates, list) else list(candidates)
+
     def find(
         self,
         filter_: Optional[Dict[str, Any]] = None,

@@ -21,8 +21,10 @@ import hashlib
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.distdb.aggregation import aggregate as _aggregate
+from repro.distdb.frame import FeatureFrame, filter_mask
 from repro.distdb.query import filter_documents, sort_documents, validate_filter
 from repro.errors import DatabaseError
+from repro.perf import fastpath as _fastpath
 from repro.telemetry import get_telemetry
 
 
@@ -111,6 +113,11 @@ class ColumnStoreCluster:
         self.replication = min(max(1, replication), n_nodes)
         self._id_counter = 0
         self.writes = 0
+        #: Bumped whenever results of a scan could change; the columnar
+        #: frame cache keys on it.
+        self._generation = 0
+        #: collection -> (generation, columns-key, full-scan FeatureFrame).
+        self._frame_cache: Dict[str, Tuple[int, Any, FeatureFrame]] = {}
         # Shares athena_distdb_ops_total with DatabaseCluster (the two are
         # interchangeable backends behind the FeatureManager).
         registry = get_telemetry().registry
@@ -144,10 +151,8 @@ class ColumnStoreCluster:
 
     def insert_one(self, collection: str, doc: Dict[str, Any]) -> Any:
         self._count_op("insert", collection)
-        stored = dict(doc)
-        if "_id" not in stored:
-            self._id_counter += 1
-            stored["_id"] = self._id_counter
+        self._generation += 1
+        stored = self._store_doc(doc)
         key_value = stored.get(self.partition_key, stored["_id"])
         primary, *replicas = self._replica_nodes(key_value)
         primary.family(collection).append(stored)
@@ -159,14 +164,50 @@ class ColumnStoreCluster:
         self.writes += 1
         return stored["_id"]
 
+    def _store_doc(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        stored = dict(doc)
+        if "_id" not in stored:
+            self._id_counter += 1
+            stored["_id"] = self._id_counter
+        return stored
+
     def insert_many(self, collection: str, docs: List[Dict[str, Any]]) -> int:
+        """Batch insert: one telemetry op, one route per partition key.
+
+        Replica chains are resolved once per distinct partition-key value
+        (the batch shape the feature writers produce is many docs per few
+        switches), while documents still land in arrival order — so
+        memtable contents, flush points, and scan order are identical to
+        the per-doc loop's.
+        """
+        self._count_op("insert", collection)
+        self._generation += 1
+        replica_name = collection + "__replica"
+        routes: Dict[Any, List[_ColumnNode]] = {}
         for doc in docs:
-            self.insert_one(collection, doc)
+            stored = self._store_doc(doc)
+            key_value = stored.get(self.partition_key, stored["_id"])
+            try:
+                chain = routes.get(key_value)
+            except TypeError:  # unhashable key value: route directly
+                chain = None
+            else:
+                if chain is None:
+                    chain = self._replica_nodes(key_value)
+                    routes[key_value] = chain
+            if chain is None:
+                chain = self._replica_nodes(key_value)
+            chain[0].family(collection).append(stored)
+            for replica in chain[1:]:
+                if replica.up:
+                    replica.family(replica_name).append(stored)
+        self.writes += len(docs)
         return len(docs)
 
     def delete_many(self, collection: str, filter_: Optional[Dict[str, Any]] = None) -> int:
         self._count_op("delete", collection)
         validate_filter(filter_)
+        self._generation += 1
         removed = 0
         for name in (collection, collection + "__replica"):
             for node in self._live_nodes():
@@ -188,6 +229,7 @@ class ColumnStoreCluster:
     ) -> int:
         self._count_op("update", collection)
         validate_filter(filter_)
+        self._generation += 1
         touched = 0
         for node in self._live_nodes():
             if not node.has_family(collection):
@@ -210,6 +252,38 @@ class ColumnStoreCluster:
     ) -> List[Dict[str, Any]]:
         self._count_op("find", collection)
         validate_filter(filter_)
+        if not _fastpath.ENABLED:
+            return self._find_reference(collection, filter_, sort, limit, projection)
+        # Zero-copy read (the PR-4 distdb contract): filter the raw stored
+        # documents, sort and trim the *references*, and copy only the
+        # post-limit survivors out.
+        matched: List[Dict[str, Any]] = []
+        for node in self._live_nodes():
+            if node.has_family(collection):
+                matched.extend(
+                    filter_documents(node.family(collection).scan(), filter_)
+                )
+        if sort:
+            sort_documents(matched, sort)
+        if limit is not None:
+            matched = matched[: max(0, limit)]
+        results = [dict(doc) for doc in matched]
+        if projection:
+            keep = set(projection) | {"_id"}
+            results = [
+                {k: v for k, v in doc.items() if k in keep} for doc in results
+            ]
+        return results
+
+    def _find_reference(
+        self,
+        collection: str,
+        filter_: Optional[Dict[str, Any]],
+        sort: Optional[List[Tuple[str, int]]],
+        limit: Optional[int],
+        projection: Optional[List[str]],
+    ) -> List[Dict[str, Any]]:
+        """The original copy-then-trim scan (``ATHENA_FAST_PATH=0``)."""
         results: List[Dict[str, Any]] = []
         for node in self._live_nodes():
             if node.has_family(collection):
@@ -229,6 +303,58 @@ class ColumnStoreCluster:
                 {k: v for k, v in doc.items() if k in keep} for doc in results
             ]
         return results
+
+    def frame(
+        self,
+        collection: str,
+        columns: Optional[Tuple[str, ...]] = None,
+    ) -> FeatureFrame:
+        """Full-scan :class:`FeatureFrame` over the collection, cached.
+
+        Columns are materialised once per store generation (any write
+        invalidates) straight from the shared stored documents — the
+        columnar path's answer to the store having no secondary indexes.
+        Row order matches :meth:`find`'s pre-sort scan order exactly.
+        """
+        columns_key = tuple(columns) if columns is not None else None
+        cached = self._frame_cache.get(collection)
+        if cached is not None:
+            generation, cached_key, frame = cached
+            if generation == self._generation and cached_key == columns_key:
+                return frame
+        docs = [
+            doc
+            for node in self._live_nodes()
+            if node.has_family(collection)
+            for doc in node.family(collection).scan()
+        ]
+        frame = FeatureFrame.from_documents(docs, columns)
+        self._frame_cache[collection] = (self._generation, columns_key, frame)
+        return frame
+
+    def find_frame(
+        self,
+        collection: str,
+        filter_: Optional[Dict[str, Any]] = None,
+        sort: Optional[List[Tuple[str, int]]] = None,
+        limit: Optional[int] = None,
+        columns: Optional[Tuple[str, ...]] = None,
+    ) -> FeatureFrame:
+        """Vectorised find: scan → boolean mask → argsort → head.
+
+        Selects exactly the rows :meth:`find` returns, in the same order,
+        as a frame over the shared stored documents (no copies).
+        """
+        self._count_op("find_frame", collection)
+        validate_filter(filter_)
+        frame = self.frame(collection, columns)
+        if filter_:
+            frame = frame.mask(filter_mask(frame, filter_))
+        if sort:
+            frame = frame.sort(sort)
+        if limit is not None:
+            frame = frame.head(limit)
+        return frame
 
     def count(self, collection: str, filter_: Optional[Dict[str, Any]] = None) -> int:
         self._count_op("count", collection)
@@ -275,9 +401,11 @@ class ColumnStoreCluster:
 
     def fail_node(self, node_id: int) -> None:
         self.nodes[node_id].up = False
+        self._generation += 1
 
     def recover_node(self, node_id: int) -> None:
         self.nodes[node_id].up = True
+        self._generation += 1
 
     def op_stats(self) -> Dict[str, Any]:
         return {

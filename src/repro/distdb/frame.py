@@ -1,0 +1,590 @@
+"""Columnar feature frames: numpy columns over shared stored documents.
+
+A :class:`FeatureFrame` is the batch-path representation of a query
+result (docs/PERF.md): a dict of column-name → numpy array plus the row
+index — the *shared* stored document dicts, in result order, never
+copied.  Numeric columns (the FEATURE_CATALOG namespace plus numeric
+index keys) are ``float64`` arrays with an explicit missing mask;
+columns holding any non-numeric value fall back to ``object`` arrays so
+comparison semantics stay exactly those of the document path.
+
+The module also compiles the Mongo-style filter language of
+:mod:`repro.distdb.query` to boolean masks (:func:`filter_mask`) and
+reproduces :func:`~repro.distdb.query.sort_documents` ordering with
+stable argsorts (:meth:`FeatureFrame.sort`).  The contract, enforced by
+property tests and ``benchmarks/bench_scale.py``: for any documents and
+any valid filter/sort/limit, the frame path selects exactly the rows
+``matches_filter`` would, in exactly the order the document path
+returns them.
+"""
+
+# athena-lint: hot-path columnar
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.distdb.query import _compare, get_path, matches_filter
+from repro.errors import QueryError
+
+class _Virtual:
+    """Sentinel distinguishing 'never materialised' from a real column."""
+
+
+_VIRTUAL = _Virtual()
+
+
+def _is_plain_number(value: Any) -> bool:
+    """Numeric for column-typing purposes: int/float but not bool.
+
+    Bools are excluded so boolean-valued columns take the object path,
+    where row-wise evaluation preserves the document path's semantics
+    (``Preprocessor._matrix`` treats bools as non-numeric).
+    """
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _build_column(docs: Sequence[Dict[str, Any]], name: str) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """One typed column over ``docs``: (values, missing-mask).
+
+    Numeric columns return ``float64`` values (missing slots hold NaN —
+    which makes ordered/equality masks correct with no extra masking)
+    plus a bool missing mask distinguishing absent values from stored
+    NaNs.  Mixed or non-numeric columns return an ``object`` array with
+    ``missing is None`` (the values themselves carry ``None``).
+    """
+    raw = [doc.get(name) for doc in docs]
+    numeric = True
+    for value in raw:
+        if value is None or type(value) is float or type(value) is int:
+            continue
+        if _is_plain_number(value):
+            continue
+        numeric = False
+        break
+    if numeric:
+        values = np.array(raw, dtype=np.float64) if raw else np.empty(0, dtype=np.float64)
+        missing = np.fromiter((v is None for v in raw), dtype=bool, count=len(raw))
+        return values, missing
+    return np.array(raw, dtype=object), None
+
+
+class FeatureFrame:
+    """A columnar view over shared stored documents."""
+
+    __slots__ = ("_values", "_missing", "_docs")
+
+    def __init__(
+        self,
+        values: Dict[str, np.ndarray],
+        missing: Dict[str, Optional[np.ndarray]],
+        docs: List[Dict[str, Any]],
+    ) -> None:
+        self._values = values
+        self._missing = missing
+        self._docs = docs
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_documents(
+        cls,
+        docs: Sequence[Dict[str, Any]],
+        columns: Optional[Iterable[str]] = None,
+    ) -> "FeatureFrame":
+        """Materialise typed columns straight from stored documents.
+
+        The documents are *referenced*, never copied: ``docs`` becomes the
+        frame's row index, so callers must treat the rows as read-only.
+        With ``columns=None`` the union of document keys (first-use order)
+        is materialised.
+        """
+        docs = docs if isinstance(docs, list) else list(docs)
+        if columns is None:
+            seen: Dict[str, None] = {}
+            for doc in docs:
+                for key in doc:
+                    if key not in seen:
+                        seen[key] = None
+            columns = list(seen)
+        values: Dict[str, np.ndarray] = {}
+        missing: Dict[str, Optional[np.ndarray]] = {}
+        for name in columns:
+            if name in values:
+                continue
+            values[name], missing[name] = _build_column(docs, name)
+        return cls(values, missing, docs)
+
+    @classmethod
+    def from_columns(
+        cls,
+        values: Dict[str, np.ndarray],
+        missing: Dict[str, Optional[np.ndarray]],
+        docs: List[Dict[str, Any]],
+    ) -> "FeatureFrame":
+        """Assemble a frame from prebuilt arrays (parallel extraction)."""
+        return cls(dict(values), dict(missing), docs)
+
+    @classmethod
+    def concat(cls, frames: Sequence["FeatureFrame"]) -> "FeatureFrame":
+        """Concatenate chunk frames row-wise.
+
+        Column sets are unioned (first-use order); a column one chunk
+        never materialised is scanned from that chunk's documents, so
+        shards whose documents carry different key sets still concatenate
+        correctly.  When a column is numeric in one chunk and object in
+        another (a string appeared only in some shard), the numeric
+        chunks are widened to object — value semantics are unchanged
+        because object columns evaluate row-wise.
+        """
+        frames = [f for f in frames if f is not None]
+        if not frames:
+            return cls({}, {}, [])
+        if len(frames) == 1:
+            return frames[0]
+        names: Dict[str, None] = {}
+        for frame in frames:
+            for name in frame._values:
+                if name not in names:
+                    names[name] = None
+        docs: List[Dict[str, Any]] = []
+        for frame in frames:
+            docs.extend(frame._docs)
+        values: Dict[str, np.ndarray] = {}
+        missing: Dict[str, Optional[np.ndarray]] = {}
+        for name in names:
+            parts = [f.values(name) for f in frames]
+            masks = [f._missing[name] for f in frames]
+            if any(part.dtype == object for part in parts):
+                widened = []
+                for part, mask in zip(parts, masks):
+                    if part.dtype == object:
+                        widened.append(part)
+                    else:
+                        as_obj = part.astype(object)
+                        if mask is not None and mask.any():
+                            as_obj[mask] = None
+                        widened.append(as_obj)
+                values[name] = np.concatenate(widened) if widened else np.empty(0, object)
+                missing[name] = None
+            else:
+                values[name] = np.concatenate(parts)
+                missing[name] = np.concatenate([m for m in masks])
+        return cls(values, missing, docs)
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        return len(self._docs)
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    @property
+    def column_names(self) -> List[str]:
+        return list(self._values)
+
+    def has_column(self, name: str) -> bool:
+        return name in self._values
+
+    def values(self, name: str) -> np.ndarray:
+        """Column values, materialised lazily from the row documents.
+
+        A frame built with a restricted column set still resolves any
+        other field correctly — the column is scanned out of ``_docs`` on
+        first use — so filters, sorts, and markings never see a phantom
+        all-missing column just because the caller trimmed the scan.
+        """
+        column = self._values.get(name, _VIRTUAL)
+        if column is _VIRTUAL:
+            column, missing = _build_column(self._docs, name)
+            self._values[name] = column
+            self._missing[name] = missing
+        return column
+
+    def is_missing(self, name: str) -> np.ndarray:
+        """Bool mask: True where the value is absent / ``None``."""
+        self.values(name)
+        mask = self._missing.get(name)
+        if mask is None:
+            column = self._values[name]
+            mask = np.fromiter((v is None for v in column), dtype=bool, count=len(column))
+            self._missing[name] = mask
+        return mask
+
+    def documents(self) -> List[Dict[str, Any]]:
+        """The shared stored documents, in row order (zero copy).
+
+        Read-only by contract: these are the store's own dicts.  Use
+        :meth:`copy_documents` when the caller needs to mutate rows.
+        """
+        return self._docs
+
+    def copy_documents(self) -> List[Dict[str, Any]]:
+        """Copies of the row documents (the document path's contract)."""
+        return [dict(doc) for doc in self._docs]  # athena-lint: disable=ATH603
+
+    def column_arrays(self) -> Tuple[Dict[str, np.ndarray], Dict[str, Optional[np.ndarray]]]:
+        """The raw (values, missing) dicts — the picklable worker payload."""
+        return self._values, self._missing
+
+    # -- row selection -----------------------------------------------------
+
+    def take(self, indices: np.ndarray) -> "FeatureFrame":
+        """New frame holding ``indices``' rows (fancy-indexed columns)."""
+        indices = np.asarray(indices)
+        values = {name: column[indices] for name, column in self._values.items()}
+        missing = {
+            name: (mask[indices] if mask is not None else None)
+            for name, mask in self._missing.items()
+        }
+        docs = [self._docs[i] for i in indices.tolist()]
+        return FeatureFrame(values, missing, docs)
+
+    def mask(self, keep: np.ndarray) -> "FeatureFrame":
+        """Rows where the boolean ``keep`` mask is True, order preserved."""
+        return self.take(np.nonzero(np.asarray(keep, dtype=bool))[0])
+
+    def head(self, limit: Optional[int]) -> "FeatureFrame":
+        if limit is None or self.n_rows <= max(0, limit):
+            return self
+        return self.take(np.arange(max(0, limit)))
+
+    def select(self, columns: Iterable[str]) -> "FeatureFrame":
+        """Frame restricted to (and materialising) ``columns``."""
+        values: Dict[str, np.ndarray] = {}
+        missing: Dict[str, Optional[np.ndarray]] = {}
+        for name in columns:
+            values[name] = self.values(name)
+            missing[name] = self._missing[name]
+        return FeatureFrame(values, missing, self._docs)
+
+    # -- sort (reproduces distdb.query.sort_documents exactly) -------------
+
+    def sort(self, sort: Optional[List[Tuple[str, int]]]) -> "FeatureFrame":
+        """Stable Mongo-style sort, bit-compatible with ``sort_documents``.
+
+        Per field (applied in reverse, each pass stable — equivalent to
+        the document path's composite key): ascending orders by
+        ``(value is None, value)``; descending is Python's stable
+        ``reverse=True``.  Numeric NaN-free columns use ``np.lexsort``;
+        anything else falls back to Python's sort with the identical key
+        (including raising TypeError on cross-type values, as the
+        document path does).
+        """
+        if not sort:
+            return self
+        order = np.arange(self.n_rows)
+        for name, direction in reversed(sort):
+            order = order[self._argsort_field(name, order, direction < 0)]
+        if (order == np.arange(self.n_rows)).all():
+            return self
+        return self.take(order)
+
+    def _argsort_field(
+        self, name: str, order: np.ndarray, descending: bool
+    ) -> np.ndarray:
+        # Dotted keys reach into sub-documents the columns don't hold;
+        # they sort through get_path like the document path does.
+        column = None if "." in name else self.values(name)
+        if column is not None and column.dtype != object:
+            miss = self.is_missing(name)[order]
+            vals = column[order]
+            present = vals[~miss]
+            if not (len(present) and np.isnan(present).any()):
+                vals = np.where(miss, 0.0, vals)
+                if descending:
+                    # Python's reverse=True: (missing, value) tuples compare
+                    # descending, ties keep original order → stable lexsort
+                    # on negated keys, missing (flag False after inversion)
+                    # first.
+                    return np.lexsort((-vals, ~miss))
+                return np.lexsort((vals, miss))
+        raw = [get_path(self._docs[i], name) for i in order.tolist()]
+        ranked = sorted(
+            range(len(raw)),
+            key=lambda i: (raw[i] is None, raw[i]),
+            reverse=descending,
+        )
+        return np.asarray(ranked, dtype=np.intp)
+
+    # -- matrix handoff ----------------------------------------------------
+
+    def feature_columns(self) -> List[str]:
+        """Materialised FEATURE_CATALOG-namespace columns, in order."""
+        return [
+            name
+            for name in self._values
+            if name[:1].isalpha() and name == name.upper()
+        ]
+
+    def to_matrix(self, features: Optional[Sequence[str]] = None) -> np.ndarray:
+        """The ML feature matrix, bit-identical to the per-row loop.
+
+        Mirrors ``Preprocessor._matrix``: numeric values land as float64,
+        missing and non-numeric values (including bools) become 0.0.
+        """
+        names = list(features) if features is not None else self.feature_columns()
+        matrix = np.zeros((self.n_rows, len(names)), dtype=np.float64)
+        for col, name in enumerate(names):
+            column = self.values(name)
+            if column.dtype == object:
+                matrix[:, col] = np.fromiter(
+                    (
+                        float(v) if _is_plain_number(v) else 0.0
+                        for v in column
+                    ),
+                    dtype=np.float64,
+                    count=len(column),
+                )
+            else:
+                miss = self.is_missing(name)
+                if miss.any():
+                    matrix[:, col] = np.where(miss, 0.0, column)
+                else:
+                    matrix[:, col] = column
+        return matrix
+
+    def __repr__(self) -> str:
+        return f"FeatureFrame(rows={self.n_rows}, columns={len(self._values)})"
+
+
+# ---------------------------------------------------------------------------
+# Filter → mask compilation
+# ---------------------------------------------------------------------------
+
+
+def _rowwise_mask(frame: FeatureFrame, sub_filter: Dict[str, Any]) -> np.ndarray:
+    docs = frame.documents()
+    return np.fromiter(
+        (matches_filter(doc, sub_filter) for doc in docs),
+        dtype=bool,
+        count=len(docs),
+    )
+
+
+def _numeric_operand(operand: Any) -> bool:
+    return isinstance(operand, (int, float)) and not (
+        isinstance(operand, float) and np.isnan(operand)
+    )
+
+
+def _compare_mask(frame: FeatureFrame, key: str, op: str, operand: Any) -> np.ndarray:
+    """Mask for one ``{key: {op: operand}}`` comparison."""
+    n = frame.n_rows
+    column = frame.values(key)
+    if column.dtype == object:
+        # Row-wise evaluation reuses the document path's _compare, so
+        # object columns (strings, bools, mixed types) match by
+        # construction.
+        return np.fromiter(
+            (_compare(v, op, operand) for v in column), dtype=bool, count=n
+        )
+    missing = frame.is_missing(key)
+    if op == "$eq":
+        if operand is None:
+            return missing.copy()
+        if _numeric_operand(operand):
+            return column == operand
+        # No numeric value equals a non-numeric operand; NaN slots
+        # (missing) compare unequal too.
+        return np.zeros(n, dtype=bool)
+    if op == "$ne":
+        if operand is None:
+            return ~missing
+        if _numeric_operand(operand):
+            return column != operand
+        return np.ones(n, dtype=bool)
+    if op == "$exists":
+        return ~missing if operand else missing.copy()
+    if op in ("$in", "$nin"):
+        members = np.isin(
+            column,
+            [e for e in operand if _numeric_operand(e)],
+        )
+        if any(e is None for e in operand):
+            members |= missing
+        return members if op == "$in" else ~members
+    if op in ("$gt", "$gte", "$lt", "$lte"):
+        if not _numeric_operand(operand):
+            # Ordered comparison against a non-numeric operand raises
+            # TypeError row-wise, which the document path maps to False.
+            return np.zeros(n, dtype=bool)
+        with np.errstate(invalid="ignore"):
+            if op == "$gt":
+                return column > operand
+            if op == "$gte":
+                return column >= operand
+            if op == "$lt":
+                return column < operand
+            return column <= operand
+    raise QueryError(f"unknown comparison operator {op!r}")
+
+
+def _condition_mask(frame: FeatureFrame, key: str, condition: Any) -> np.ndarray:
+    if "." in key:
+        # Dotted paths reach into sub-documents the columns don't hold;
+        # evaluate those rows through the reference matcher.
+        return _rowwise_mask(frame, {key: condition})
+    if isinstance(condition, dict) and any(k.startswith("$") for k in condition):
+        mask = np.ones(frame.n_rows, dtype=bool)
+        for op, operand in condition.items():
+            if op == "$not":
+                mask &= ~_condition_mask(frame, key, operand)
+                continue
+            mask &= _compare_mask(frame, key, op, operand)
+        return mask
+    if isinstance(condition, (dict, list, tuple, set)):
+        # Plain equality against a container: elementwise numpy comparison
+        # would broadcast, so keep it row-wise.
+        return _rowwise_mask(frame, {key: condition})
+    return _compare_mask(frame, key, "$eq", condition)
+
+
+def filter_mask(
+    frame: FeatureFrame, filter_: Optional[Dict[str, Any]]
+) -> np.ndarray:
+    """Boolean row mask equivalent to ``matches_filter`` per document.
+
+    Supports the full filter language (``$eq $ne $gt $gte $lt $lte $in
+    $nin $exists``, ``$and $or $nor $not``); numeric columns evaluate
+    vectorised, everything else row-wise through the reference matcher —
+    so results are identical either way (property-tested in
+    ``tests/test_frame.py``).
+    """
+    n = frame.n_rows
+    if not filter_:
+        return np.ones(n, dtype=bool)
+    mask = np.ones(n, dtype=bool)
+    for key, condition in filter_.items():
+        if key == "$and":
+            for sub in condition:
+                mask &= filter_mask(frame, sub)
+        elif key == "$or":
+            any_mask = np.zeros(n, dtype=bool)
+            for sub in condition:
+                any_mask |= filter_mask(frame, sub)
+            mask &= any_mask
+        elif key == "$nor":
+            any_mask = np.zeros(n, dtype=bool)
+            for sub in condition:
+                any_mask |= filter_mask(frame, sub)
+            mask &= ~any_mask
+        elif key.startswith("$"):
+            raise QueryError(f"unknown top-level operator {key!r}")
+        else:
+            mask &= _condition_mask(frame, key, condition)
+    return mask
+
+
+# ---------------------------------------------------------------------------
+# Chunked extraction (the compute-backend map task)
+# ---------------------------------------------------------------------------
+
+
+def _collect_filter_fields(
+    filter_: Optional[Dict[str, Any]], out: Dict[str, None]
+) -> None:
+    if not filter_:
+        return
+    for key, condition in filter_.items():
+        if key in ("$and", "$or", "$nor"):
+            for sub in condition:
+                _collect_filter_fields(sub, out)
+        elif key.startswith("$") or "." in key:
+            # Dotted paths evaluate row-wise over the documents; no
+            # column needs materialising for them.
+            continue
+        else:
+            out.setdefault(key, None)
+
+
+def scan_fields(
+    columns: Optional[Sequence[str]],
+    filter_: Optional[Dict[str, Any]] = None,
+    sort: Optional[List[Tuple[str, int]]] = None,
+) -> Optional[Tuple[str, ...]]:
+    """The columns a masked scan touches, or None for 'all of them'.
+
+    The requested set plus every top-level field the filter or sort
+    evaluates, so a column-restricted extraction still materialises what
+    the mask compiler and argsort read (anything else falls back to a
+    per-row document scan).
+    """
+    if columns is None:
+        return None
+    needed = dict.fromkeys(columns)
+    _collect_filter_fields(filter_, needed)
+    for name, _direction in sort or []:
+        if "." not in name:
+            needed.setdefault(name, None)
+    return tuple(needed)
+
+
+def extract_chunk(
+    docs: List[Dict[str, Any]],
+    columns: Optional[Tuple[str, ...]],
+    filter_: Optional[Dict[str, Any]],
+) -> Tuple[Dict[str, np.ndarray], Dict[str, Optional[np.ndarray]], np.ndarray]:
+    """Scan+mask one partition of stored documents into column arrays.
+
+    Module-level and picklable so the process execution backend can ship
+    it to pool workers; the driver rebuilds the frame from the returned
+    arrays plus its own (fork-shared) document references.  Returns
+    ``(values, missing, keep_indices)`` for the rows surviving
+    ``filter_``.
+    """
+    scan = scan_fields(columns, filter_)
+    frame = FeatureFrame.from_documents(docs, scan)
+    keep = np.nonzero(filter_mask(frame, filter_))[0]
+    if len(keep) != frame.n_rows:
+        frame = frame.take(keep)
+    if columns is not None and scan != tuple(columns):
+        # Trim filter-only columns so the worker payload carries exactly
+        # the requested set.
+        frame = frame.select(columns)
+    values, missing = frame.column_arrays()
+    return values, missing, keep
+
+
+def _extract_chunk_task(docs: List[Dict[str, Any]], spec: Tuple[Any, Any]):
+    return extract_chunk(docs, spec[0], spec[1])
+
+
+class ChunkExtractor:
+    """Binds (columns, filter) for dispatch through compute backends.
+
+    Picklable whenever the filter is (plain dicts/values), matching the
+    backends' pre-flight pickling check.
+    """
+
+    def __init__(
+        self,
+        columns: Optional[Tuple[str, ...]],
+        filter_: Optional[Dict[str, Any]],
+    ) -> None:
+        self.columns = tuple(columns) if columns is not None else None
+        self.filter = filter_
+
+    def __call__(self, docs: List[Dict[str, Any]]):
+        return extract_chunk(docs, self.columns, self.filter)
+
+
+def assemble_chunks(
+    chunk_results: Sequence[Tuple[Dict[str, np.ndarray], Dict[str, Optional[np.ndarray]], np.ndarray]],
+    partitions: Sequence[List[Dict[str, Any]]],
+) -> FeatureFrame:
+    """Rebuild the result frame from per-chunk arrays + driver-side docs.
+
+    ``chunk_results`` arrive in task (partition) order — the backends'
+    determinism contract — so the concatenated frame preserves the
+    document path's result order.
+    """
+    frames = []
+    for (values, missing, keep), docs in zip(chunk_results, partitions):
+        kept_docs = [docs[i] for i in keep.tolist()]
+        frames.append(FeatureFrame.from_columns(values, missing, kept_docs))
+    return FeatureFrame.concat(frames)

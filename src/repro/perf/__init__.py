@@ -7,15 +7,26 @@ Two concerns live here (docs/PERF.md):
   by default; ``ATHENA_FAST_PATH=0`` routes every hot call through the
   original reference implementations, which is how the equivalence
   tests and the regression bench compare the two.
+* :mod:`repro.perf.columnar` — the ``ATHENA_COLUMNAR`` switch (default
+  **off**) that opts batch detection into the numpy frame path of
+  :mod:`repro.distdb.frame`; the same equivalence contract applies, with
+  ``benchmarks/bench_scale.py`` comparing the two.
 * :mod:`repro.perf.harness` — measurement and comparison machinery for
-  ``benchmarks/bench_hotpath.py``: time a workload under both paths,
-  check results are identical, compute throughput and speedup, and
-  persist ``BENCH_hotpath.json`` so successive PRs accumulate a perf
-  trajectory.
+  ``benchmarks/bench_hotpath.py`` and ``benchmarks/bench_scale.py``:
+  time a workload under both paths, check results are identical,
+  compute throughput and speedup, and persist ``BENCH_*.json`` so
+  successive PRs accumulate a perf trajectory.
 """
 
 from __future__ import annotations
 
+from repro.perf.columnar import (
+    columnar_enabled,
+    columnar_scope,
+    refresh_columnar,
+    set_columnar,
+)
+from repro.perf.columnar import ENV_FLAG as COLUMNAR_ENV_FLAG
 from repro.perf.fastpath import (
     ENV_FLAG,
     fast_path_enabled,
@@ -27,11 +38,16 @@ from repro.perf.harness import BenchResult, HotpathReport, measure_throughput
 
 __all__ = [
     "BenchResult",
+    "COLUMNAR_ENV_FLAG",
     "ENV_FLAG",
     "HotpathReport",
+    "columnar_enabled",
+    "columnar_scope",
     "fast_path_enabled",
     "fast_path_scope",
     "measure_throughput",
+    "refresh_columnar",
     "refresh_fast_path",
+    "set_columnar",
     "set_fast_path",
 ]

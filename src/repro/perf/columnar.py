@@ -1,0 +1,71 @@
+"""The ``ATHENA_COLUMNAR`` switch.
+
+The columnar batch feature path (docs/PERF.md) moves the store→model
+pipeline from per-document Python dicts onto numpy column frames:
+:meth:`~repro.core.feature_manager.FeatureManager.request_frame`
+materialises a :class:`~repro.distdb.frame.FeatureFrame` straight from
+the store's raw documents, compiles query filters to boolean masks, and
+hands the columns to the ML layer without a per-row ``to_vector`` loop.
+
+It defaults to **off**: the flag opts batch detection into the columnar
+path, while ``ATHENA_COLUMNAR=1`` (or :func:`set_columnar(True)
+<set_columnar>`) flips :class:`~repro.core.detector_manager.DetectorManager`
+model generation and validation onto frames.  Like ``ATHENA_FAST_PATH``,
+the switch exists for equivalence: both paths promise byte-identical
+matrices, marks, predictions, and alerts on the same store state, and
+the scenario tests plus ``benchmarks/bench_scale.py`` enforce that
+promise by running the same workload under both settings.
+
+Components read the flag per batch operation (not at construction), so
+:func:`columnar_scope` around a detection round is enough to switch one
+run.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+#: Environment switch: "1" / "true" / "yes" / "on" enable the columnar path.
+ENV_FLAG = "ATHENA_COLUMNAR"
+
+_ENABLING = ("1", "true", "yes", "on")
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(ENV_FLAG, "0").strip().lower() in _ENABLING
+
+
+#: Cached process-wide setting; module-attribute reads keep the per-call
+#: cost of consulting the flag to one dict lookup.
+ENABLED: bool = _env_enabled()
+
+
+def columnar_enabled() -> bool:
+    """Whether batch detection runs on the columnar frame path."""
+    return ENABLED
+
+
+def set_columnar(enabled: bool) -> None:
+    """Programmatically force the flag (tests and the bench harness)."""
+    global ENABLED
+    ENABLED = bool(enabled)
+
+
+def refresh_columnar() -> bool:
+    """Re-read ``ATHENA_COLUMNAR`` from the environment; returns it."""
+    global ENABLED
+    ENABLED = _env_enabled()
+    return ENABLED
+
+
+@contextmanager
+def columnar_scope(enabled: bool) -> Iterator[None]:
+    """Temporarily force the flag, restoring the previous value on exit."""
+    previous = ENABLED
+    set_columnar(enabled)
+    try:
+        yield
+    finally:
+        set_columnar(previous)

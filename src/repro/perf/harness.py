@@ -82,8 +82,10 @@ class BenchResult:
 class HotpathReport:
     """Collects bench results and persists the regression artifact."""
 
-    def __init__(self, quick: bool = False) -> None:
+    def __init__(self, quick: bool = False, bench: str = "hotpath") -> None:
         self.quick = quick
+        #: Artifact label ("hotpath", "scale", ...) recorded in the JSON.
+        self.bench = bench
         self.results: List[BenchResult] = []
         #: name -> minimum required speedup; a result below its gate (or
         #: any non-equivalent result) fails the report.
@@ -120,7 +122,7 @@ class HotpathReport:
 
     def to_dict(self) -> Dict[str, Any]:
         return {
-            "bench": "hotpath",
+            "bench": self.bench,
             "quick": self.quick,
             "python": platform.python_version(),
             "results": [r.to_dict() for r in self.results],
@@ -136,7 +138,7 @@ class HotpathReport:
         return path
 
     def print_summary(self) -> None:
-        print(f"\n=== hotpath bench ({'quick' if self.quick else 'full'}) ===")
+        print(f"\n=== {self.bench} bench ({'quick' if self.quick else 'full'}) ===")
         for result in self.results:
             gate = self.gates.get(result.name)
             gate_text = f"  (gate >= {gate:.1f}x)" if gate else ""

@@ -556,6 +556,96 @@ class TestHotpathChecker:
         )
         assert findings == []
 
+    def test_row_dict_in_loop_flagged_in_columnar_module(self):
+        findings = run_checker(
+            HotpathChecker(),
+            """
+            # athena-lint: hot-path columnar
+            def extract(rows):
+                out = []
+                for row in rows:
+                    out.append({"v": row[0], "w": row[1]})
+                return out
+            """,
+        )
+        assert rules_of(findings) == ["ATH603"]
+
+    def test_row_dict_in_comprehension_flagged(self):
+        findings = run_checker(
+            HotpathChecker(),
+            """
+            # athena-lint: hot-path columnar
+            def extract(rows):
+                return [dict(v=row[0]) for row in rows]
+            """,
+        )
+        assert rules_of(findings) == ["ATH603"]
+
+    def test_dictcomp_inside_loop_flagged(self):
+        findings = run_checker(
+            HotpathChecker(),
+            """
+            # athena-lint: hot-path columnar
+            def extract(rows, names):
+                out = []
+                for row in rows:
+                    out.append({n: v for n, v in zip(names, row)})
+                return out
+            """,
+        )
+        assert rules_of(findings) == ["ATH603"]
+
+    def test_function_level_dict_is_clean(self):
+        """One dict per call is setup, not a per-row allocation."""
+        findings = run_checker(
+            HotpathChecker(),
+            """
+            # athena-lint: hot-path columnar
+            def summarise(rows):
+                totals = {"count": len(rows)}
+                index = {name: i for i, name in enumerate(("a", "b"))}
+                return totals, index
+            """,
+        )
+        assert findings == []
+
+    def test_plain_hot_path_module_skips_ath603(self):
+        """ATH603 is the stricter columnar tier, not the base hot-path one."""
+        findings = run_checker(
+            HotpathChecker(),
+            """
+            # athena-lint: hot-path
+            def extract(rows):
+                return [{"v": row[0]} for row in rows]
+            """,
+        )
+        assert findings == []
+
+    def test_ath603_suppression_honored(self, tmp_path):
+        from repro.cli import main as cli_main
+
+        src = tmp_path / "frames.py"
+        src.write_text(
+            "# athena-lint: hot-path columnar\n"
+            "def copy_documents(docs):\n"
+            "    return [dict(doc) for doc in docs]"
+            "  # athena-lint: disable=ATH603\n"
+        )
+        assert cli_main(["lint", str(src), "--no-config"]) == 0
+        src.write_text(
+            "# athena-lint: hot-path columnar\n"
+            "def copy_documents(docs):\n"
+            "    return [dict(doc) for doc in docs]\n"
+        )
+        assert cli_main(["lint", str(src), "--no-config"]) == 1
+
+    def test_frame_module_carries_columnar_marker(self):
+        frame_src = open(
+            os.path.join(REPO_ROOT, "src", "repro", "distdb", "frame.py"),
+            encoding="utf-8",
+        ).read()
+        assert "athena-lint: hot-path columnar" in frame_src
+
     def test_shipped_hot_modules_are_clean(self):
         """match.py / flowtable.py / distdb keep their compiled fast paths."""
         from repro.analysis import LintEngine

@@ -139,3 +139,95 @@ class TestColumnStoreCluster:
             GenerateQuery("FLOW_PACKET_COUNT > 1")
         )
         assert len(docs) == 1
+
+
+class TestColumnStoreBatchAndFrames:
+    """PR-8 additions: batch insert, zero-copy find, cached frames."""
+
+    def test_insert_many_matches_insert_one_loop(self):
+        docs = [{"switch_id": i % 4, "v": i} for i in range(40)]
+        batch = ColumnStoreCluster(n_nodes=3, replication=2)
+        loop = ColumnStoreCluster(n_nodes=3, replication=2)
+        assert batch.insert_many("f", [dict(d) for d in docs]) == 40
+        for doc in docs:
+            loop.insert_one("f", dict(doc))
+        # Same docs land on the same nodes in the same scan order, so the
+        # memtable/sstable layout and every read are interchangeable.
+        for batch_node, loop_node in zip(batch.nodes, loop.nodes):
+            assert [d for d in batch_node.family("f").scan()] == [
+                d for d in loop_node.family("f").scan()
+            ]
+        assert batch.find("f", sort=[("v", 1)]) == loop.find("f", sort=[("v", 1)])
+        assert batch.writes == loop.writes == 40
+
+    def test_insert_many_unhashable_partition_key_still_routes(self, store):
+        store.insert_many(
+            "f", [{"switch_id": [1, 2], "v": 0}, {"switch_id": 1, "v": 1}]
+        )
+        assert store.count("f") == 2
+
+    def test_zero_copy_find_matches_reference(self, store):
+        from repro.perf import fast_path_scope
+
+        store.insert_many(
+            "f",
+            [{"switch_id": i % 3, "v": i, "w": i % 5} for i in range(25)],
+        )
+        for kwargs in (
+            {"filter_": {"v": {"$gte": 10}}},
+            {"filter_": {"w": 2}, "sort": [("v", -1)], "limit": 3},
+            {"projection": ["v"], "sort": [("v", 1)]},
+        ):
+            with fast_path_scope(True):
+                fast = store.find("f", **kwargs)
+            with fast_path_scope(False):
+                slow = store.find("f", **kwargs)
+            assert fast == slow
+
+    def test_zero_copy_find_returns_copies(self, store):
+        store.insert_one("f", {"switch_id": 1, "v": 1})
+        found = store.find("f")[0]
+        found["v"] = 99
+        assert store.find("f")[0]["v"] == 1
+
+    def test_find_frame_matches_find(self, store):
+        store.insert_many(
+            "f",
+            [{"switch_id": i % 3, "v": float(i), "w": i % 4} for i in range(30)],
+        )
+        for kwargs in (
+            {},
+            {"filter_": {"w": {"$in": [0, 2]}}},
+            {"filter_": {"v": {"$gte": 5.0}}, "sort": [("v", -1)], "limit": 4},
+        ):
+            frame = store.find_frame("f", **kwargs)
+            assert frame.copy_documents() == store.find("f", **kwargs)
+
+    def test_frame_cache_hits_until_write(self, store):
+        store.insert_many("f", [{"switch_id": 1, "v": i} for i in range(5)])
+        first = store.frame("f")
+        assert store.frame("f") is first  # same generation: cache hit
+        store.insert_one("f", {"switch_id": 1, "v": 99})
+        fresh = store.frame("f")
+        assert fresh is not first
+        assert fresh.n_rows == 6
+
+    def test_frame_cache_invalidated_by_delete_and_update(self, store):
+        store.insert_many("f", [{"switch_id": 1, "v": i} for i in range(6)])
+        before = store.frame("f")
+        store.delete_many("f", {"v": {"$lt": 2}})
+        assert store.frame("f") is not before
+        assert store.find_frame("f").copy_documents() == store.find("f")
+        mid = store.frame("f")
+        store.update_many("f", {"v": 5}, {"v": 50})
+        assert store.frame("f") is not mid
+        assert store.find_frame("f", {"v": 50}).n_rows == 1
+
+    def test_restricted_frame_still_filters_on_untrimmed_fields(self, store):
+        store.insert_many(
+            "f", [{"switch_id": i % 2, "v": float(i), "w": i} for i in range(8)]
+        )
+        frame = store.find_frame("f", {"w": {"$gte": 4}}, columns=("v",))
+        assert frame.values("v").tolist() == [
+            doc["v"] for doc in store.find("f", {"w": {"$gte": 4}})
+        ]

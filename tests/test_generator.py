@@ -228,3 +228,42 @@ class TestFidelityControls:
     def test_counts(self, generator, sink):
         generator.on_stats_event(_flow_stats_event())
         assert generator.features_generated == len(sink)
+
+
+class TestCategorySuppressionCache:
+    """_filter_categories precomputes the suppressed-name set (PR-8)."""
+
+    def test_full_category_set_bypasses_cache(self, generator, sink):
+        generator.on_stats_event(_flow_stats_event())
+        assert generator._suppressed_key is None
+
+    def test_suppressed_names_cached_per_category_set(self, generator, sink):
+        generator.enabled_categories = {FeatureCategory.PROTOCOL}
+        generator.on_stats_event(_flow_stats_event())
+        cached = generator._suppressed_names
+        assert cached  # something really is suppressed
+        generator.on_stats_event(_flow_stats_event(time=6.0))
+        assert generator._suppressed_names is cached
+
+    def test_cache_recomputed_when_fidelity_changes(self, generator, sink):
+        generator.enabled_categories = {FeatureCategory.PROTOCOL}
+        generator.on_stats_event(_flow_stats_event())
+        narrow = generator._suppressed_names
+        generator.enabled_categories = {
+            FeatureCategory.PROTOCOL,
+            FeatureCategory.COMBINATION,
+        }
+        generator.on_stats_event(_flow_stats_event(time=6.0))
+        assert generator._suppressed_names is not narrow
+        assert generator._suppressed_names < narrow
+
+    def test_filtering_output_matches_catalog(self, generator, sink):
+        from repro.core.features.catalog import FEATURE_CATALOG
+
+        generator.enabled_categories = {FeatureCategory.PROTOCOL}
+        generator.on_stats_event(_flow_stats_event())
+        for record in sink:
+            for name in record.fields:
+                definition = FEATURE_CATALOG.get(name)
+                if definition is not None:
+                    assert definition.category is FeatureCategory.PROTOCOL
