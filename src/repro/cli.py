@@ -241,6 +241,42 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if result.detected else 1
 
 
+def _cmd_sketch(args: argparse.Namespace) -> int:
+    from repro.sketch.scenarios import (
+        SKETCH_RECALL_TOLERANCE,
+        run_sketch_scenario,
+    )
+    from repro.workloads.sketchscale import SketchScaleSpec
+
+    spec = SketchScaleSpec(
+        scenario=args.scenario,
+        n_flows=args.flows,
+        n_hosts=args.hosts,
+        n_switches=args.switches,
+        n_windows=args.windows,
+        seed=args.seed,
+    )
+    sketch = run_sketch_scenario(spec, use_sketch=True)
+    print(f"scenario : {sketch.scenario}  seed={sketch.seed}")
+    print(f"stream   : {args.flows} flows over {args.hosts} hosts, "
+          f"{args.switches} switches x {args.windows} windows")
+    print(f"sketch   : recall={sketch.recall:.3f} "
+          f"far={sketch.false_alarm_rate:.3f} "
+          f"threshold={sketch.threshold:.1f} "
+          f"resident={sketch.state_nbytes / 1e6:.2f}MB")
+    print(f"alerts   : {len(sketch.alerts)} cells, "
+          f"digest {sketch.alert_digest[:16]}")
+    print(f"state    : digest {sketch.state_digest[:16]}")
+    if args.compare_exact:
+        exact = run_sketch_scenario(spec, use_sketch=False)
+        drift = abs(sketch.recall - exact.recall)
+        print(f"exact    : recall={exact.recall:.3f} "
+              f"resident={exact.state_nbytes / 1e6:.2f}MB")
+        print(f"drift    : {drift:.3f} (tolerance {SKETCH_RECALL_TOLERANCE})")
+        return 0 if drift <= SKETCH_RECALL_TOLERANCE else 1
+    return 0
+
+
 def _cmd_stream(args: argparse.Namespace) -> int:
     from repro.streaming.scenarios import (
         STREAMING_RECALL_TOLERANCE,
@@ -447,6 +483,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="handle exactly one request, then exit "
                             "(smoke-test mode)")
     serve.set_defaults(handler=_cmd_serve)
+
+    sketch = commands.add_parser(
+        "sketch", help="run a detection scenario on sketch features"
+    )
+    sketch.add_argument("--scenario", choices=["ddos", "portscan"],
+                        default="ddos", help="attack mixed into the stream")
+    sketch.add_argument("--flows", type=int, default=100_000,
+                        help="distinct flows across the run")
+    sketch.add_argument("--hosts", type=int, default=10_000,
+                        help="benign source-host pool size")
+    sketch.add_argument("--switches", type=int, default=8,
+                        help="switches sharing the stream")
+    sketch.add_argument("--windows", type=int, default=8,
+                        help="sampling windows")
+    sketch.add_argument("--seed", type=int, default=7,
+                        help="workload seed (same seed replays "
+                             "byte-identically)")
+    sketch.add_argument("--compare-exact", action="store_true",
+                        help="also run the exact path and check the "
+                             "recall drift tolerance")
+    sketch.set_defaults(handler=_cmd_sketch)
 
     lint = commands.add_parser(
         "lint", help="athena-lint: framework-aware static analysis"

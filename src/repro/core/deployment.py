@@ -246,6 +246,42 @@ class AthenaDeployment:
     def total_features_generated(self) -> int:
         return sum(i.generator.features_generated for i in self.instances)
 
+    def sketch_stats(self) -> Dict[str, float]:
+        """Sketch fill/error stats aggregated across instance generators.
+
+        Sums the additive fields (switch count, observations, resident
+        bytes) and takes the worst case of the error bounds, so the
+        northbound view stays meaningful however many instances carry
+        sketch state.  All-zero when no generator has sketched yet.
+        """
+        totals: Dict[str, float] = {
+            "switches": 0,
+            "observations": 0,
+            "nbytes": 0,
+            "cms_fill_ratio": 0.0,
+            "cms_error_bound": 0.0,
+            "hll_fill_ratio": 0.0,
+            "hll_relative_error": 0.0,
+            "bloom_fill_ratio": 0.0,
+            "bloom_fp_bound": 0.0,
+        }
+        active = 0
+        for instance in self.instances:
+            stats = instance.generator.sketch_stats()
+            if stats is None:
+                continue
+            active += 1
+            for key in ("switches", "observations", "nbytes"):
+                totals[key] += stats[key]
+            for key in ("cms_error_bound", "bloom_fp_bound", "hll_relative_error"):
+                totals[key] = max(totals[key], stats[key])
+            for key in ("cms_fill_ratio", "hll_fill_ratio", "bloom_fill_ratio"):
+                totals[key] += stats[key]
+        if active:
+            for key in ("cms_fill_ratio", "hll_fill_ratio", "bloom_fill_ratio"):
+                totals[key] /= active
+        return totals
+
     def summary(self) -> Dict[str, int]:
         return {
             "athena_instances": len(self.instances),

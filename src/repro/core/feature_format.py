@@ -46,6 +46,8 @@ class FeatureScope(Enum):
     PORT = "port"
     SWITCH = "switch"
     CONTROL = "control"
+    #: Sketch-backed per-switch records (repro.sketch, ATHENA_SKETCH).
+    SKETCH = "sketch"
 
 
 @dataclass

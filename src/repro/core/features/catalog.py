@@ -50,7 +50,21 @@ class FeatureCatalog(Dict[str, FeatureDef]):
     """
 
     def suggest(self, name: str) -> Optional[str]:
-        """The closest catalog name to ``name``, or None when nothing is near."""
+        """The closest catalog name to ``name``, or None when nothing is near.
+
+        When the name carries a scope-like prefix shared with catalog
+        features (``SKETCH_``, ``FLOW_``, ``PORT_``, ...), matching is
+        restricted to that family first with a lower cutoff — a global
+        fuzzy match over 100+ names otherwise drowns family-local typos
+        like ``SKETCH_UNIQ_SRC_EST`` in unrelated suggestions.
+        """
+        prefix, _, _ = name.partition("_")
+        if prefix and prefix != name:
+            family = [n for n in self if n.startswith(prefix + "_")]
+            if family:
+                matches = difflib.get_close_matches(name, family, n=1, cutoff=0.4)
+                if matches:
+                    return matches[0]
         matches = difflib.get_close_matches(name, list(self), n=1, cutoff=0.6)
         return matches[0] if matches else None
 
@@ -72,11 +86,12 @@ class FeatureCatalog(Dict[str, FeatureDef]):
 
 def _build_catalog() -> "FeatureCatalog":
     P, C, S = FeatureCategory.PROTOCOL, FeatureCategory.COMBINATION, FeatureCategory.STATEFUL
-    FLOW, PORT, SWITCH, CTRL = (
+    FLOW, PORT, SWITCH, CTRL, SKETCH = (
         FeatureScope.FLOW,
         FeatureScope.PORT,
         FeatureScope.SWITCH,
         FeatureScope.CONTROL,
+        FeatureScope.SKETCH,
     )
     base: List[FeatureDef] = [
         # -- protocol-centric, flow scope (from FLOW stats / FLOW_REMOVED) --
@@ -157,6 +172,20 @@ def _build_catalog() -> "FeatureCatalog":
         FeatureDef("EXPIRED_FLOW_RATE", S, SWITCH, "expirations per second since last sample", True),
         FeatureDef("MEDIAN_FLOW_PACKETS", S, SWITCH, "median packet count over live flows"),
         FeatureDef("GROWTH_SINGLE_FLOWS", S, SWITCH, "growth of unpaired flows", True),
+        # -- sketch scope: sublinear-memory per-switch window features
+        #    (repro.sketch, behind ATHENA_SKETCH; windows are already
+        #    per-sample deltas, so no *_VAR siblings are derived).
+        FeatureDef("SKETCH_OBSERVATIONS", P, SKETCH, "flow observations in the window"),
+        FeatureDef("SKETCH_TOTAL_PACKETS", P, SKETCH, "packets observed in the window"),
+        FeatureDef("SKETCH_TOTAL_BYTES", P, SKETCH, "bytes observed in the window"),
+        FeatureDef("SKETCH_HEAVY_HITTER_PACKETS", S, SKETCH, "CMS max per-flow packet estimate"),
+        FeatureDef("SKETCH_HEAVY_HITTER_BYTES", S, SKETCH, "CMS max per-flow byte estimate"),
+        FeatureDef("SKETCH_HH_PACKET_SHARE", C, SKETCH, "heavy-hitter packets / window packets"),
+        FeatureDef("SKETCH_UNIQUE_SRC_EST", S, SKETCH, "HLL distinct source estimate"),
+        FeatureDef("SKETCH_UNIQUE_DST_PORT_EST", S, SKETCH, "HLL distinct dst-port estimate"),
+        FeatureDef("SKETCH_FLOWS_PER_SRC_EST", C, SKETCH, "observations / distinct source estimate"),
+        FeatureDef("SKETCH_PORTS_PER_SRC_EST", C, SKETCH, "distinct ports / distinct sources"),
+        FeatureDef("SKETCH_SEEN_HOST_RATIO", S, SKETCH, "Bloom previously-seen-source ratio"),
     ]
     catalog: FeatureCatalog = FeatureCatalog()
     for definition in base:

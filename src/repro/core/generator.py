@@ -39,6 +39,8 @@ from repro.openflow.messages import (
     PortStatsReply,
     TableStatsReply,
 )
+from repro.perf import sketch as _sketch
+from repro.sketch.features import SketchFeatureState
 from repro.telemetry import StageProfiler, get_telemetry
 
 FeatureSink = Callable[[AthenaFeature], None]
@@ -109,6 +111,19 @@ class FeatureGenerator:
         self._profiler = StageProfiler(
             metric="athena_feature_stage_seconds", registry=registry
         )
+        # Sketch path (ATHENA_SKETCH): lazily built so exact-only runs pay
+        # nothing; seeded from the instance id for run-to-run determinism.
+        self.sketch_state: Optional[SketchFeatureState] = None
+        self._metric_sketch_fill = registry.gauge(
+            "athena_sketch_fill_ratio",
+            "Mean sketch fill ratio across switches, by structure.",
+            labelnames=("structure",),
+        )
+        self._metric_sketch_error = registry.gauge(
+            "athena_sketch_error_bound",
+            "Worst-case sketch error bound across switches, by structure.",
+            labelnames=("structure",),
+        )
         # Cache for _filter_categories: names suppressed under a given
         # enabled-category set, recomputed only when the Resource Manager
         # swaps enabled_categories (it reassigns the set, so identity of
@@ -163,6 +178,65 @@ class FeatureGenerator:
                 kept[name] = value
         return kept
 
+    # -- sketch path (ATHENA_SKETCH) ----------------------------------------
+
+    def _sketch_observe(
+        self, dpid: int, indicators: Dict, packets: float, bytes_: float
+    ) -> None:
+        """Fold one flow observation into the sketch window (flag-gated)."""
+        if not _sketch.ENABLED or not self._monitoring(dpid, FeatureScope.SKETCH):
+            return
+        if self.sketch_state is None:
+            self.sketch_state = SketchFeatureState(seed=self.instance_id)
+        src = indicators.get("ip_src") or indicators.get("eth_src") or ""
+        dst_port = indicators.get("tcp_dst") or 0
+        flow_key = tuple(sorted(indicators.items()))
+        self.sketch_state.observe(
+            dpid, flow_key, src, dst_port, packets=int(packets), bytes_=int(bytes_)
+        )
+
+    def _emit_sketch_record(self, dpid: int, now: float) -> None:
+        """Roll the switch's sketch window into one sketch-scoped record."""
+        if (
+            not _sketch.ENABLED
+            or self.sketch_state is None
+            or not self._monitoring(dpid, FeatureScope.SKETCH)
+            or not self.sketch_state.observations(dpid)
+        ):
+            return
+        # Snapshot fill/error stats before the roll resets the window.
+        stats = self.sketch_state.fill_stats()
+        fields = self.sketch_state.roll(dpid)
+        self._metric_sketch_fill.labels(structure="cms").set(stats["cms_fill_ratio"])
+        self._metric_sketch_fill.labels(structure="hll").set(stats["hll_fill_ratio"])
+        self._metric_sketch_fill.labels(structure="bloom").set(
+            stats["bloom_fill_ratio"]
+        )
+        self._metric_sketch_error.labels(structure="cms").set(
+            stats["cms_error_bound"]
+        )
+        self._metric_sketch_error.labels(structure="hll").set(
+            stats["hll_relative_error"]
+        )
+        self._metric_sketch_error.labels(structure="bloom").set(
+            stats["bloom_fp_bound"]
+        )
+        self._emit(
+            AthenaFeature(
+                scope=FeatureScope.SKETCH,
+                switch_id=dpid,
+                instance_id=self.instance_id,
+                timestamp=now,
+                fields=self._filter_categories(fields),
+            )
+        )
+
+    def sketch_stats(self) -> Optional[Dict[str, float]]:
+        """Aggregate sketch fill/error stats, or None while inactive."""
+        if self.sketch_state is None:
+            return None
+        return self.sketch_state.fill_stats()
+
     # -- event entry points -----------------------------------------------------
 
     def on_stats_event(self, event: StatsEvent) -> None:
@@ -199,6 +273,7 @@ class FeatureGenerator:
         fields = self.flow_state.observe_flow(dpid, indicators, event.time)
         fields["FLOW_PACKET_COUNT"] = 0.0
         fields["FLOW_BYTE_COUNT"] = float(event.message.total_len)
+        self._sketch_observe(dpid, indicators, 1, event.message.total_len)
         self._emit(
             AthenaFeature(
                 scope=FeatureScope.FLOW,
@@ -294,6 +369,15 @@ class FeatureGenerator:
                 entry.cookie,
             )
             fields.update(self.variation.diff(entity, fields, now))
+            # Sketch ingestion uses the per-sample delta when the flow was
+            # seen before (cumulative counters would double-count), and
+            # the full count on its first sample.
+            self._sketch_observe(
+                dpid,
+                indicators,
+                fields.get("FLOW_PACKET_COUNT_VAR", fields["FLOW_PACKET_COUNT"]),
+                fields.get("FLOW_BYTE_COUNT_VAR", fields["FLOW_BYTE_COUNT"]),
+            )
             app_id = entry.app_id
             if app_id is None and self._flow_rule_lookup is not None:
                 app_id = self._flow_rule_lookup(dpid, entry.match)
@@ -322,6 +406,8 @@ class FeatureGenerator:
                     fields=self._filter_categories(switch_fields),
                 )
             )
+        # Sketch-scope record: the window accumulated since the last round.
+        self._emit_sketch_record(dpid, now)
         # Control-plane record: counters accumulated since the last round.
         self._emit_control_record(dpid, now)
 

@@ -11,6 +11,10 @@ Two concerns live here (docs/PERF.md):
   **off**) that opts batch detection into the numpy frame path of
   :mod:`repro.distdb.frame`; the same equivalence contract applies, with
   ``benchmarks/bench_scale.py`` comparing the two.
+* :mod:`repro.perf.sketch` — the ``ATHENA_SKETCH`` switch (default
+  **off**) that makes feature generation emit the sketch-backed
+  ``SKETCH_*`` scope from :mod:`repro.sketch` (docs/SKETCH.md);
+  ``benchmarks/bench_sketch.py`` gates its memory/recall contract.
 * :mod:`repro.perf.harness` — measurement and comparison machinery for
   ``benchmarks/bench_hotpath.py`` and ``benchmarks/bench_scale.py``:
   time a workload under both paths, check results are identical,
@@ -35,12 +39,20 @@ from repro.perf.fastpath import (
     set_fast_path,
 )
 from repro.perf.harness import BenchResult, HotpathReport, measure_throughput
+from repro.perf.sketch import (
+    refresh_sketch,
+    set_sketch,
+    sketch_enabled,
+    sketch_scope,
+)
+from repro.perf.sketch import ENV_FLAG as SKETCH_ENV_FLAG
 
 __all__ = [
     "BenchResult",
     "COLUMNAR_ENV_FLAG",
     "ENV_FLAG",
     "HotpathReport",
+    "SKETCH_ENV_FLAG",
     "columnar_enabled",
     "columnar_scope",
     "fast_path_enabled",
@@ -48,6 +60,10 @@ __all__ = [
     "measure_throughput",
     "refresh_columnar",
     "refresh_fast_path",
+    "refresh_sketch",
     "set_columnar",
     "set_fast_path",
+    "set_sketch",
+    "sketch_enabled",
+    "sketch_scope",
 ]

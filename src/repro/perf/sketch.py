@@ -1,0 +1,71 @@
+"""The ``ATHENA_SKETCH`` switch.
+
+The sketch feature path (docs/SKETCH.md) swaps the exact per-flow state
+behind the ``SKETCH_*`` feature scope for the bounded-memory structures
+of :mod:`repro.sketch`: Count-Min heavy hitters, HyperLogLog
+cardinalities and a Bloom seen-host memory, all per switch and per
+sampling window.
+
+It defaults to **off**: exact extraction stays untouched, and no
+sketch-scoped records are emitted.  ``ATHENA_SKETCH=1`` (or
+:func:`set_sketch(True) <set_sketch>`) makes every
+:class:`~repro.core.generator.FeatureGenerator` fold flow observations
+into its :class:`~repro.sketch.features.SketchFeatureState` and emit one
+sketch-scoped record per switch per flow-stats round.  Unlike
+``ATHENA_COLUMNAR`` this is not an equivalence switch — sketch features
+are approximate by design — but the scenario tests hold detection recall
+on sketch features within a fixed tolerance of the exact path, and
+``benchmarks/bench_sketch.py`` enforces the memory/throughput side.
+
+Components read the flag per event (not at construction), so
+:func:`sketch_scope` around a workload is enough to switch one run.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+#: Environment switch: "1" / "true" / "yes" / "on" enable the sketch path.
+ENV_FLAG = "ATHENA_SKETCH"
+
+_ENABLING = ("1", "true", "yes", "on")
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(ENV_FLAG, "0").strip().lower() in _ENABLING
+
+
+#: Cached process-wide setting; module-attribute reads keep the per-event
+#: cost of consulting the flag to one dict lookup.
+ENABLED: bool = _env_enabled()
+
+
+def sketch_enabled() -> bool:
+    """Whether feature generation runs the sketch path."""
+    return ENABLED
+
+
+def set_sketch(enabled: bool) -> None:
+    """Programmatically force the flag (tests and the bench harness)."""
+    global ENABLED
+    ENABLED = bool(enabled)
+
+
+def refresh_sketch() -> bool:
+    """Re-read ``ATHENA_SKETCH`` from the environment; returns it."""
+    global ENABLED
+    ENABLED = _env_enabled()
+    return ENABLED
+
+
+@contextmanager
+def sketch_scope(enabled: bool) -> Iterator[None]:
+    """Temporarily force the flag, restoring the previous value on exit."""
+    previous = ENABLED
+    set_sketch(enabled)
+    try:
+        yield
+    finally:
+        set_sketch(previous)

@@ -1,0 +1,78 @@
+"""Stable 64-bit hashing for the sketch structures.
+
+Python's builtin ``hash`` is salted per process (``PYTHONHASHSEED``), so
+sketches built on it would not be reproducible across runs — and the
+determinism contract (same seed + same stream → byte-identical sketch)
+is the whole point.  This module provides a seeded, pure-python 64-bit
+mix (the splitmix64 finaliser) that is identical on every platform and
+process, plus the double-hashing scheme ``h_i = h1 + i·h2`` used by the
+CMS rows and Bloom probes so each key is mixed only twice regardless of
+depth.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+MASK64 = (1 << 64) - 1
+
+#: FNV-1a 64-bit parameters, used to fold variable-length keys to an int.
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def mix64(x: int) -> int:
+    """The splitmix64 finaliser: a full-avalanche 64-bit permutation."""
+    x &= MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & MASK64
+    return x ^ (x >> 31)
+
+
+def _fnv1a(data: bytes) -> int:
+    h = _FNV_OFFSET
+    for byte in data:
+        h = ((h ^ byte) * _FNV_PRIME) & MASK64
+    return h
+
+
+def key_to_int(key: Any) -> int:
+    """Canonicalise a sketch key to a stable 64-bit integer.
+
+    Accepts ints (used directly — the fast path for the million-flow
+    workloads), strings/bytes (FNV-1a folded) and tuples (members folded
+    recursively).  Floats are rejected: binary representation issues
+    would make equality-of-keys fragile.
+    """
+    if isinstance(key, bool):  # bool is an int subclass; keep it distinct
+        return mix64(0x9E3779B97F4A7C15 + int(key))
+    if isinstance(key, int):
+        return key & MASK64
+    if isinstance(key, str):
+        return _fnv1a(key.encode("utf-8"))
+    if isinstance(key, bytes):
+        return _fnv1a(key)
+    if isinstance(key, tuple):
+        h = _FNV_OFFSET
+        for part in key:
+            h = ((h ^ key_to_int(part)) * _FNV_PRIME) & MASK64
+            h = mix64(h)
+        return h
+    raise TypeError(f"unhashable sketch key type {type(key).__name__!r}")
+
+
+def hash64(key: Any, seed: int = 0) -> int:
+    """Seeded stable 64-bit hash of ``key``."""
+    return mix64(key_to_int(key) ^ mix64(seed))
+
+
+def hash_pair(key: Any, seed: int) -> "tuple[int, int]":
+    """Two independent 64-bit hashes for double hashing.
+
+    ``h2`` is forced odd so ``(h1 + i*h2) % width`` cycles through
+    distinct indices even for power-of-two widths.
+    """
+    k = key_to_int(key)
+    h1 = mix64(k ^ mix64(seed))
+    h2 = mix64(k ^ mix64(seed + 0x632BE59BD9B4E019)) | 1
+    return h1, h2

@@ -11,12 +11,20 @@ from repro.workloads.ddos import DDoSDatasetGenerator, DDoSDatasetSpec
 from repro.workloads.flows import FlowSpec, TrafficSchedule
 from repro.workloads.lfa import LFATrafficGenerator
 from repro.workloads.nae import NAEWorkload
+from repro.workloads.sketchscale import (
+    EventChunk,
+    SketchScaleGenerator,
+    SketchScaleSpec,
+)
 
 __all__ = [
     "DDoSDatasetGenerator",
     "DDoSDatasetSpec",
+    "EventChunk",
     "FlowSpec",
     "TrafficSchedule",
     "LFATrafficGenerator",
     "NAEWorkload",
+    "SketchScaleGenerator",
+    "SketchScaleSpec",
 ]

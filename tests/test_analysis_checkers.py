@@ -205,6 +205,36 @@ class TestFeatureNameChecker:
         )
         assert findings == []
 
+    def test_sketch_names_clean(self):
+        findings = run_checker(
+            FeatureNameChecker(),
+            """
+            query.where("SKETCH_UNIQUE_SRC_EST", ">", 1000)
+            DDOS_FEATURES = ["SKETCH_SEEN_HOST_RATIO", "SKETCH_HH_PACKET_SHARE"]
+            p = preprocessor(["SKETCH_UNIQUE_DST_PORT_EST"])
+            """,
+        )
+        assert findings == []
+
+    def test_misspelled_sketch_name_suggests_within_family(self):
+        # The did-you-mean must come from the SKETCH_* family, not a
+        # textually-closer name in another scope.
+        findings = run_checker(
+            FeatureNameChecker(),
+            'query.where("SKETCH_UNIQ_SRC_EST", ">", 1000)\n',
+        )
+        assert rules_of(findings) == ["ATH201"]
+        assert "did you mean 'SKETCH_UNIQUE_SRC_EST'" in findings[0].message
+
+    def test_sketch_var_sibling_rejected(self):
+        # Sketch windows are already per-sample deltas: no *_VAR variants
+        # exist, and the checker must not invent them.
+        findings = run_checker(
+            FeatureNameChecker(),
+            'p = preprocessor(["SKETCH_TOTAL_PACKETS_VAR"])\n',
+        )
+        assert rules_of(findings) == ["ATH201"]
+
     def test_unknown_index_field_is_a_warning(self):
         findings = run_checker(
             FeatureNameChecker(),

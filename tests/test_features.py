@@ -61,6 +61,31 @@ class TestCatalog:
         names = feature_names()
         assert names == sorted(set(names))
 
+    def test_sketch_scope_catalogued(self):
+        from repro.sketch import SKETCH_FEATURE_NAMES
+
+        catalogued = features_by_scope(FeatureScope.SKETCH)
+        assert sorted(catalogued) == sorted(SKETCH_FEATURE_NAMES)
+        # Sketch windows are per-sample deltas already; nothing varies.
+        for name in catalogued:
+            assert not FEATURE_CATALOG[name].varies
+
+    def test_suggest_prefers_same_family(self):
+        # A misspelt SKETCH_* name must resolve inside the SKETCH_*
+        # family even when another scope has a textually close name.
+        assert (
+            FEATURE_CATALOG.suggest("SKETCH_UNIQ_SRC_EST")
+            == "SKETCH_UNIQUE_SRC_EST"
+        )
+        assert (
+            FEATURE_CATALOG.suggest("SKETCH_SEEN_HOST_RATE")
+            == "SKETCH_SEEN_HOST_RATIO"
+        )
+        # Cross-family fallback still works for non-prefixed typos.
+        assert FEATURE_CATALOG.suggest("FLOW_PAKET_COUNT") == "FLOW_PACKET_COUNT"
+        # Hopeless names suggest nothing rather than something random.
+        assert FEATURE_CATALOG.suggest("ZZZ_TOTALLY_UNKNOWN") is None
+
 
 class TestFeatureFormat:
     def _record(self):
